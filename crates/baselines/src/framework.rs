@@ -1,0 +1,124 @@
+//! The common interface Table III drives: run an algorithm from a source on
+//! a fresh device, report kernel/total time or an out-of-memory failure.
+
+use eta_graph::Csr;
+use eta_mem::system::MemError;
+use eta_sim::{Device, GpuConfig};
+use etagraph::{Algorithm, EtaConfig, RunResult};
+
+/// Why a framework run produced no numbers.
+#[derive(Debug, Clone)]
+pub enum FrameworkError {
+    /// The paper's "O.O.M": the framework's device footprint does not fit.
+    Oom(MemError),
+    /// The framework cannot run this algorithm (Table III's '–' cells).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::Oom(e) => write!(f, "O.O.M ({e})"),
+            FrameworkError::Unsupported(why) => write!(f, "unsupported: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+impl From<MemError> for FrameworkError {
+    fn from(e: MemError) -> Self {
+        FrameworkError::Oom(e)
+    }
+}
+
+/// A GPU graph-processing framework under comparison.
+pub trait Framework {
+    fn name(&self) -> &'static str;
+
+    /// Runs `alg` from `source` on a fresh device built from `gpu`.
+    ///
+    /// `csr` must carry weights when the algorithm needs them. Total time
+    /// includes host→device transfer of the framework's own data structures
+    /// (conversion/preprocessing happens "in advance", as the paper's
+    /// methodology states, and is not charged).
+    fn run(
+        &self,
+        gpu: GpuConfig,
+        csr: &Csr,
+        source: u32,
+        alg: Algorithm,
+    ) -> Result<RunResult, FrameworkError>;
+}
+
+/// EtaGraph behind the common interface.
+pub struct EtaFramework {
+    pub cfg: EtaConfig,
+    pub name: &'static str,
+}
+
+impl EtaFramework {
+    /// The headline configuration ("EtaGraph").
+    pub fn paper() -> Self {
+        EtaFramework {
+            cfg: EtaConfig::paper(),
+            name: "EtaGraph",
+        }
+    }
+
+    /// The "EtaGraph w/o UMP" row of Table III.
+    pub fn without_ump() -> Self {
+        EtaFramework {
+            cfg: EtaConfig::without_ump(),
+            name: "EtaGraph w/o UMP",
+        }
+    }
+}
+
+impl Framework for EtaFramework {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(
+        &self,
+        gpu: GpuConfig,
+        csr: &Csr,
+        source: u32,
+        alg: Algorithm,
+    ) -> Result<RunResult, FrameworkError> {
+        let mut dev = Device::new(gpu);
+        etagraph::engine::run(&mut dev, csr, source, alg, &self.cfg).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_graph::generate::{rmat, RmatConfig};
+    use eta_graph::reference;
+
+    #[test]
+    fn eta_framework_runs_and_matches_reference() {
+        let g = rmat(&RmatConfig::paper(10, 10_000, 2));
+        let fw = EtaFramework::paper();
+        let r = fw
+            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .unwrap();
+        assert_eq!(r.labels, reference::bfs(&g, 0));
+        assert_eq!(fw.name(), "EtaGraph");
+        assert_eq!(EtaFramework::without_ump().name(), "EtaGraph w/o UMP");
+    }
+
+    #[test]
+    fn framework_error_formats() {
+        let e = FrameworkError::Unsupported("no SSWP");
+        assert!(e.to_string().contains("no SSWP"));
+        let oom: FrameworkError = MemError::Oom {
+            requested_bytes: 10,
+            free_bytes: 5,
+        }
+        .into();
+        assert!(oom.to_string().contains("O.O.M"));
+    }
+}

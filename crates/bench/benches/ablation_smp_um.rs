@@ -1,0 +1,40 @@
+//! Criterion counterpart of Fig. 6: the EtaGraph ablation variants (SMP,
+//! UM, UM-prefetch) on the Slashdot analog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta_bench::suite::dataset;
+use eta_sim::GpuConfig;
+use etagraph::{Algorithm, EtaConfig};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let d = dataset("slashdot");
+    let variants: [(&str, EtaConfig); 4] = [
+        ("etagraph", EtaConfig::paper()),
+        ("without_smp", EtaConfig::without_smp()),
+        ("without_um", EtaConfig::without_um()),
+        ("without_ump", EtaConfig::without_ump()),
+    ];
+    let mut group = c.benchmark_group("fig6_slashdot");
+    group.sample_size(10);
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+                let r = etagraph::engine::run(
+                    &mut dev,
+                    black_box(&d.csr),
+                    d.source,
+                    Algorithm::Bfs,
+                    cfg,
+                )
+                .expect("slashdot fits");
+                black_box(r.total_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion counterpart of Table I: the cost of building each topology
+//! representation. This quantifies the paper's "lightweight transformation"
+//! claim — EtaGraph's UDC needs no host-side materialization at all, while
+//! Tigr's VST and CuSha's G-Shards rewrite the whole graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eta_bench::suite::dataset;
+use eta_graph::{EdgeList, GShards, Vst};
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let d = dataset("slashdot");
+    let g = &d.csr;
+    let mut group = c.benchmark_group("table1_transform_cost");
+    group.throughput(Throughput::Elements(g.m() as u64));
+
+    group.bench_function("vst_materialize_k16", |b| {
+        b.iter(|| black_box(Vst::from_csr(g, 16)))
+    });
+    group.bench_function("gshards_materialize", |b| {
+        b.iter(|| black_box(GShards::from_csr(g, GShards::DEFAULT_WINDOW)))
+    });
+    group.bench_function("edgelist_materialize", |b| {
+        b.iter(|| black_box(EdgeList::from_csr(g)))
+    });
+    group.bench_function("udc_shadow_count_k16", |b| {
+        // The *entire* host-side cost of EtaGraph's transformation: none —
+        // shadow tuples are generated on the GPU each iteration. Counting
+        // |N| is the only host-side arithmetic it ever needs.
+        b.iter(|| black_box(etagraph::udc::shadow_count_graph(g, 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the simulator substrate itself: coalescer, cache and
+//! warp access throughput. These bound how fast the reproduction can run
+//! and guard against performance regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eta_mem::cache::{Cache, CacheConfig};
+use eta_mem::coalesce::sectors_for_warp;
+use eta_mem::pcie::PcieLink;
+use eta_mem::system::MemSystem;
+use eta_sim::{GpuConfig, Kernel, LaunchConfig, WarpCtx};
+use std::hint::black_box;
+
+struct StreamKernel {
+    data: eta_mem::DSlice,
+    n: u32,
+}
+
+impl Kernel for StreamKernel {
+    fn run(&self, w: &mut WarpCtx<'_>) {
+        let ids = w.thread_ids();
+        let mask = w.mask_for_items(self.n);
+        if mask != 0 {
+            black_box(w.load(self.data, &ids, mask));
+        }
+    }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    // Coalescer.
+    let scattered: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+    let mut scratch = Vec::new();
+    let mut group = c.benchmark_group("sim_primitives");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("coalesce_scattered_warp", |b| {
+        b.iter(|| {
+            sectors_for_warp(black_box(&scattered), u32::MAX, &mut scratch);
+            black_box(scratch.len())
+        })
+    });
+
+    // Cache probe stream.
+    group.bench_function("cache_probe", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 48 * 1024,
+            line_bytes: 32,
+            ways: 8,
+            retention: 768,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % 10_000;
+            cache.tick(3);
+            black_box(cache.access(i))
+        })
+    });
+
+    // Full warp load through the hierarchy.
+    group.throughput(Throughput::Elements(1 << 16));
+    group.bench_function("device_stream_64k_loads", |b| {
+        let cfg = GpuConfig::default_preset();
+        let n = 1u32 << 16;
+        b.iter(|| {
+            let mut dev = eta_sim::Device::new(cfg);
+            let data = dev.mem.alloc_explicit(n as u64).unwrap();
+            let k = StreamKernel { data, n };
+            let r = dev.launch(&k, LaunchConfig::for_items(n, 256), 0);
+            black_box(r.metrics.cycles)
+        })
+    });
+
+    // MemSystem residency path.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("um_resident_touch", |b| {
+        let mut m = MemSystem::new(1 << 30, PcieLink::new(12.0, 1000));
+        let a = m.alloc_unified(1 << 20);
+        m.prefetch(a, 0);
+        let sector = a.word_off / 8 + 100;
+        b.iter(|| black_box(m.ensure_resident(a.region, &[sector], 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion counterpart of Table III: all frameworks × algorithms on the
+//! Slashdot analog (the only dataset small enough for statistical
+//! repetition). Wall time here measures the simulator; the *simulated*
+//! milliseconds of the full Table III come from
+//! `cargo run -p eta-bench --bin report -- table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta_bench::suite::{dataset, frameworks, graph_for};
+use eta_sim::GpuConfig;
+use etagraph::Algorithm;
+use std::hint::black_box;
+
+fn bench_frameworks(c: &mut Criterion) {
+    let d = dataset("slashdot");
+    let mut group = c.benchmark_group("table3_slashdot");
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        let g = graph_for("slashdot", alg);
+        for fw in frameworks() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), fw.name()),
+                &alg,
+                |b, &alg| {
+                    b.iter(|| {
+                        let r = fw
+                            .run(GpuConfig::default_preset(), black_box(&g), d.source, alg)
+                            .expect("slashdot fits every framework");
+                        black_box(r.total_ns)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation the paper leaves implicit: sensitivity of EtaGraph to the
+//! degree limit K. Small K fragments vertices into many shadow tuples
+//! (transformation overhead, queue traffic); large K restores imbalance and
+//! eats shared memory (occupancy). The sweep reports the simulated total
+//! time per K once, then benchmarks the default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta_bench::suite::dataset;
+use eta_sim::GpuConfig;
+use etagraph::{Algorithm, EtaConfig};
+use std::hint::black_box;
+
+fn run_with_k(k: u32) -> u64 {
+    let d = dataset("slashdot");
+    let cfg = EtaConfig {
+        k,
+        ..EtaConfig::paper()
+    };
+    let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+    etagraph::engine::run(&mut dev, &d.csr, d.source, Algorithm::Bfs, &cfg)
+        .expect("slashdot fits")
+        .total_ns
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    println!("\nsimulated BFS total vs degree limit K (slashdot):");
+    for k in [2u32, 4, 8, 16, 32, 64] {
+        println!("  K={k:<3} -> {:.3} ms", run_with_k(k) as f64 / 1e6);
+    }
+    let mut group = c.benchmark_group("udc_k");
+    group.sample_size(10);
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(run_with_k(k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep);
+criterion_main!(benches);

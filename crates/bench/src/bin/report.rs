@@ -1,0 +1,103 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p eta-bench --bin report -- all            # everything
+//! cargo run --release -p eta-bench --bin report -- table3 fig7   # a subset
+//! cargo run --release -p eta-bench --bin report -- all --quick   # small datasets
+//! cargo run --release -p eta-bench --bin report -- all --out reports/
+//! ```
+//!
+//! Each artifact is printed and, with `--out DIR`, also written as
+//! `DIR/<name>.txt` and `DIR/<name>.json`.
+
+use eta_bench::tables::Artifact;
+use eta_bench::{figs, tables, Suite};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const KNOWN: [&str; 11] = [
+    "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
+    "extras",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = Some(PathBuf::from(
+                    it.next().expect("--out needs a directory argument"),
+                ))
+            }
+            "all" => wanted.extend(KNOWN.iter().map(|s| s.to_string())),
+            other if KNOWN.contains(&other) => wanted.push(other.to_string()),
+            other => {
+                eprintln!("unknown artifact {other:?}; known: {KNOWN:?}, 'all', --quick, --out DIR");
+                std::process::exit(2);
+            }
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: report <artifact...|all> [--quick] [--out DIR]");
+        eprintln!("artifacts: {KNOWN:?}");
+        std::process::exit(2);
+    }
+    wanted.dedup();
+    let suite = if quick { Suite::Quick } else { Suite::Full };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+
+    for name in wanted {
+        let t0 = Instant::now();
+        let artifact = generate(&name, suite);
+        let elapsed = t0.elapsed();
+        println!("\n=== {} ===", artifact.title);
+        println!("{}", artifact.text);
+        println!("[generated in {:.1}s]", elapsed.as_secs_f64());
+        if let Some(dir) = &out_dir {
+            write_artifact(dir, &artifact);
+        }
+    }
+}
+
+fn generate(name: &str, suite: Suite) -> Artifact {
+    match name {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(suite),
+        "table3" => tables::table3(suite),
+        "table4" => tables::table4(suite),
+        "table5" => tables::table5(suite),
+        "fig2" => figs::fig2(),
+        "fig4" => figs::fig4(suite),
+        "fig5" => figs::fig5(suite),
+        "fig6" => figs::fig6(suite),
+        "fig7" => figs::fig7(),
+        "extras" => eta_bench::extras::extras(if suite == Suite::Quick {
+            "slashdot"
+        } else {
+            "livejournal"
+        }),
+        _ => unreachable!("validated in main"),
+    }
+}
+
+fn write_artifact(dir: &std::path::Path, a: &Artifact) {
+    let txt = dir.join(format!("{}.txt", a.name));
+    let mut f = std::fs::File::create(&txt).expect("create artifact txt");
+    writeln!(f, "{}\n\n{}", a.title, a.text).expect("write artifact txt");
+    let json = dir.join(format!("{}.json", a.name));
+    std::fs::write(
+        &json,
+        serde_json::to_string_pretty(&a.json).expect("serialize artifact"),
+    )
+    .expect("write artifact json");
+    eprintln!("wrote {} and {}", txt.display(), json.display());
+}

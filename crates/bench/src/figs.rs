@@ -1,0 +1,349 @@
+//! Generators for Figures 2, 4, 5, 6 and 7 of the paper.
+
+use crate::suite::{self, dataset, Suite};
+use crate::tables::Artifact;
+use crate::text;
+use eta_sim::GpuConfig;
+use etagraph::{Algorithm, EtaConfig, RunResult};
+use serde_json::{json, Value};
+
+fn run_eta(ds: &'static str, alg: Algorithm, cfg: &EtaConfig) -> RunResult {
+    let g = suite::graph_for(ds, alg);
+    let d = dataset(ds);
+    let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+    etagraph::engine::run(&mut dev, &g, d.source, alg, cfg).expect("UM runs never OOM")
+}
+
+/// Fig. 2: number and cumulative distribution of active vertices per BFS
+/// iteration (livejournal and orkut analogs).
+pub fn fig2() -> Artifact {
+    let mut body = String::new();
+    let mut jout = Vec::new();
+    for ds in ["livejournal", "orkut"] {
+        let r = run_eta(ds, Algorithm::Bfs, &EtaConfig::paper());
+        let total: u64 = r.per_iteration.iter().map(|s| s.active as u64).sum();
+        let active: Vec<f64> = r.per_iteration.iter().map(|s| s.active as f64).collect();
+        let bars = text::bars(&active, 40);
+        body.push_str(&format!("\n{ds}: active vertices per iteration\n"));
+        let mut cumulative = 0u64;
+        let mut rows = Vec::new();
+        for (s, bar) in r.per_iteration.iter().zip(bars) {
+            cumulative += s.active as u64;
+            rows.push(vec![
+                s.iteration.to_string(),
+                s.active.to_string(),
+                format!("{:.1}%", 100.0 * cumulative as f64 / total as f64),
+                bar,
+            ]);
+        }
+        body.push_str(&text::table(&["iter", "active", "cumulative", ""], &rows));
+        jout.push(json!({
+            "dataset": ds,
+            "active_per_iteration": r.per_iteration.iter().map(|s| s.active).collect::<Vec<_>>(),
+        }));
+    }
+    Artifact {
+        name: "fig2",
+        title: "Fig. 2: active vertices per BFS iteration (grow then shrink)".into(),
+        text: body,
+        json: Value::Array(jout),
+    }
+}
+
+/// Fig. 4: transfer/compute overlap of EtaGraph w/o UMP running SSSP.
+pub fn fig4(suite: Suite) -> Artifact {
+    let names: Vec<&'static str> = match suite {
+        Suite::Quick => vec!["livejournal", "orkut"],
+        Suite::Full => vec!["livejournal", "orkut", "rmat22", "uk2005"],
+    };
+    let mut rows = Vec::new();
+    let mut jout = Vec::new();
+    let mut strips = String::new();
+    for &ds in &names {
+        let r = run_eta(ds, Algorithm::Sssp, &EtaConfig::without_ump());
+        let transfer_busy = r.timeline.busy_time(|s| s.kind.is_transfer());
+        let compute_busy = r.timeline.busy_time(|s| !s.kind.is_transfer());
+        strips.push_str(&format!(
+            "\n{ds}:\n{}",
+            text::timeline_strip(r.timeline.spans(), 72)
+        ));
+        rows.push(vec![
+            ds.to_string(),
+            format!("{:.3}", r.total_ms()),
+            format!("{:.3}", transfer_busy as f64 / 1e6),
+            format!("{:.3}", compute_busy as f64 / 1e6),
+            format!("{:.0}%", r.overlap_fraction * 100.0),
+        ]);
+        jout.push(json!({
+            "dataset": ds,
+            "total_ms": r.total_ms(),
+            "transfer_busy_ms": transfer_busy as f64 / 1e6,
+            "compute_busy_ms": compute_busy as f64 / 1e6,
+            "overlap_fraction": r.overlap_fraction,
+        }));
+    }
+    let mut body = text::table(
+        &[
+            "dataset",
+            "total (ms)",
+            "transfer busy (ms)",
+            "compute busy (ms)",
+            "transfer hidden",
+        ],
+        &rows,
+    );
+    body.push_str(&strips);
+    Artifact {
+        name: "fig4",
+        title: "Fig. 4: transfer/compute overlap, EtaGraph w/o UMP, SSSP".into(),
+        text: body,
+        json: Value::Array(jout),
+    }
+}
+
+/// Fig. 5: visited vertices over time — near-linear growth.
+pub fn fig5(suite: Suite) -> Artifact {
+    let names = suite::datasets_for(suite);
+    let mut body = String::new();
+    let mut jout = Vec::new();
+    for &ds in &names {
+        let r = run_eta(ds, Algorithm::Bfs, &EtaConfig::paper());
+        let series: Vec<(f64, u64)> = r
+            .per_iteration
+            .iter()
+            .map(|s| (s.end_ns as f64 / 1e6, s.visited_total))
+            .collect();
+        // Linearity proxy: R² of visited ~ time over the active phase.
+        let r2 = linear_r2(&series);
+        body.push_str(&format!(
+            "{ds}: {} iterations, visited {} — visited-vs-time R² = {:.3}\n",
+            r.iterations,
+            r.visited(),
+            r2
+        ));
+        jout.push(json!({
+            "dataset": ds,
+            "series_ms_visited": series,
+            "r_squared": r2,
+        }));
+    }
+    body.push_str("\n(R² near 1 reproduces the paper's near-linear growth claim)\n");
+    Artifact {
+        name: "fig5",
+        title: "Fig. 5: visited vertices over time".into(),
+        text: body,
+        json: Value::Array(jout),
+    }
+}
+
+/// Fig. 6: normalized total runtimes of the EtaGraph ablations.
+pub fn fig6(suite: Suite) -> Artifact {
+    let names = suite::datasets_for(suite);
+    let variants: [(&str, EtaConfig); 4] = [
+        ("EtaGraph", EtaConfig::paper()),
+        ("w/o SMP", EtaConfig::without_smp()),
+        ("w/o UM", EtaConfig::without_um()),
+        ("w/o UMP", EtaConfig::without_ump()),
+    ];
+    let mut rows = Vec::new();
+    let mut jout = Vec::new();
+    for &ds in &names {
+        let g = suite::graph_for(ds, Algorithm::Bfs);
+        let d = dataset(ds);
+        let mut totals: Vec<Option<f64>> = Vec::new();
+        for (_, cfg) in &variants {
+            let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+            let total = etagraph::engine::run(&mut dev, &g, d.source, Algorithm::Bfs, cfg)
+                .ok()
+                .map(|r| r.total_ms());
+            totals.push(total);
+        }
+        let base = totals[0].expect("EtaGraph itself always runs");
+        let mut row = vec![ds.to_string()];
+        for t in &totals {
+            row.push(match t {
+                Some(ms) => format!("{:.2}", ms / base),
+                None => "O.O.M".to_string(),
+            });
+        }
+        rows.push(row);
+        jout.push(json!({
+            "dataset": ds,
+            "normalized": variants.iter().zip(&totals).map(|((name, _), t)| json!({
+                "variant": name,
+                "normalized_total": t.map(|ms| ms / base),
+                "total_ms": t,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    let mut headers = vec!["dataset"];
+    headers.extend(variants.iter().map(|(n, _)| *n));
+    Artifact {
+        name: "fig6",
+        title: "Fig. 6: normalized BFS runtimes of EtaGraph setups".into(),
+        text: text::table(&headers, &rows),
+        json: Value::Array(jout),
+    }
+}
+
+/// Fig. 7: SMP microarchitecture metrics, BFS on the LiveJournal analog.
+pub fn fig7() -> Artifact {
+    let with = run_eta("livejournal", Algorithm::Bfs, &EtaConfig::paper());
+    let without = run_eta("livejournal", Algorithm::Bfs, &EtaConfig::without_smp());
+    assert_eq!(with.labels, without.labels, "SMP must not change results");
+
+    let metric = |name: &str, w: f64, wo: f64, higher_better: bool| {
+        json!({
+            "metric": name,
+            "smp": w,
+            "no_smp": wo,
+            "ratio": if wo != 0.0 { w / wo } else { 0.0 },
+            "higher_is_better": higher_better,
+        })
+    };
+    let m = &with.metrics;
+    let n = &without.metrics;
+    let entries = vec![
+        metric("ipc", m.ipc(), n.ipc(), true),
+        metric("unified_cache_hit_rate", m.l1_hit_rate(), n.l1_hit_rate(), true),
+        metric("l2_hit_rate", m.l2_hit_rate(), n.l2_hit_rate(), true),
+        metric(
+            "l2_read_throughput_gb_s",
+            m.l2_throughput_gb_s(),
+            n.l2_throughput_gb_s(),
+            true,
+        ),
+        metric(
+            "unified_cache_throughput_gb_s",
+            m.l1_throughput_gb_s(),
+            n.l1_throughput_gb_s(),
+            true,
+        ),
+        metric(
+            "dram_read_throughput_gb_s",
+            m.dram_throughput_gb_s(),
+            n.dram_throughput_gb_s(),
+            true,
+        ),
+        // nvprof's gld_transactions: global load transactions at the
+        // L1TEX level — vectorized SMP bursts need ~4x fewer.
+        metric(
+            "global_read_transactions",
+            m.l1_requests as f64,
+            n.l1_requests as f64,
+            false,
+        ),
+    ];
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e["metric"].as_str().unwrap().to_string(),
+                format!("{:.3}", e["smp"].as_f64().unwrap()),
+                format!("{:.3}", e["no_smp"].as_f64().unwrap()),
+                format!("{:.2}x", e["ratio"].as_f64().unwrap()),
+            ]
+        })
+        .collect();
+    Artifact {
+        name: "fig7",
+        title: "Fig. 7: SMP effect on IPC, caches, throughput, transactions (BFS, livejournal)"
+            .into(),
+        text: text::table(&["metric", "SMP", "w/o SMP", "ratio"], &rows),
+        json: Value::Array(entries),
+    }
+}
+
+/// Least-squares R² of a (time, value) series.
+fn linear_r2(series: &[(f64, u64)]) -> f64 {
+    if series.len() < 3 {
+        return 1.0;
+    }
+    let n = series.len() as f64;
+    let (sx, sy): (f64, f64) = series
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y as f64));
+    let (mx, my) = (sx / n, sy / n);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in series {
+        let dx = x - mx;
+        let dy = y as f64 - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_r2_of_perfect_line_is_one() {
+        let series: Vec<(f64, u64)> = (0..10).map(|i| (i as f64, 5 * i as u64)).collect();
+        assert!((linear_r2(&series) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_r2_of_noise_is_low() {
+        let series = vec![
+            (0.0, 10),
+            (1.0, 0),
+            (2.0, 10),
+            (3.0, 0),
+            (4.0, 10),
+            (5.0, 0),
+        ];
+        assert!(linear_r2(&series) < 0.3);
+    }
+
+    #[test]
+    fn fig7_reproduces_the_smp_headline_metrics() {
+        // The two metrics the mechanism is calibrated against (paper:
+        // IPC x1.42, global read transactions x0.48), plus the directions
+        // that must hold for the unified cache. The L2-level metrics are
+        // reported but not asserted — see EXPERIMENTS.md for the known
+        // deviation of the inclusive-hierarchy model.
+        let a = fig7();
+        let entries = a.json.as_array().unwrap();
+        let ratio = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e["metric"] == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))["ratio"]
+                .as_f64()
+                .unwrap()
+        };
+        let ipc = ratio("ipc");
+        assert!((1.1..2.2).contains(&ipc), "IPC ratio out of band: {ipc}");
+        let gld = ratio("global_read_transactions");
+        assert!((0.2..0.8).contains(&gld), "gld ratio out of band: {gld}");
+        assert!(ratio("unified_cache_hit_rate") > 1.0);
+        assert!(ratio("dram_read_throughput_gb_s") > 0.9);
+    }
+
+    #[test]
+    fn fig2_shows_grow_then_shrink() {
+        let a = fig2();
+        let lj = &a.json.as_array().unwrap()[0];
+        let active: Vec<u64> = lj["active_per_iteration"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        let peak_idx = active
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .unwrap()
+            .0;
+        assert!(peak_idx > 0 && peak_idx < active.len() - 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! `eta-bench` — the experiment harness.
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//! run `cargo run --release -p eta-bench --bin report -- all` (or a single
+//! artifact name such as `table3` or `fig7`; add `--quick` to restrict to
+//! the small datasets). Criterion micro-benches live under `benches/`.
+//!
+//! The mapping from paper artifact to generator function is in DESIGN.md's
+//! per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
+
+pub mod extras;
+pub mod figs;
+pub mod suite;
+pub mod tables;
+pub mod text;
+
+pub use suite::{datasets_for, CellOutcome, Suite};

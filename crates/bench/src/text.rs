@@ -1,0 +1,159 @@
+//! Fixed-width text tables and ASCII sparklines for the report output.
+
+/// Renders rows as a fixed-width table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        // No trailing spaces.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// A unicode bar chart scaled to `width` characters; one bar per value.
+pub fn bars(values: &[f64], width: usize) -> Vec<String> {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let n = ((v / max) * width as f64).round() as usize;
+            "#".repeat(n.min(width))
+        })
+        .collect()
+}
+
+/// Formats a byte count as KB/MB with one decimal.
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Renders a two-lane ASCII timeline (transfer vs compute) over `width`
+/// character cells — the Fig. 4 "execution status" strip chart.
+pub fn timeline_strip(
+    spans: &[eta_mem::timeline::Span],
+    width: usize,
+) -> String {
+    let end = spans.iter().map(|s| s.end).max().unwrap_or(0);
+    if end == 0 {
+        return String::from("(empty timeline)\n");
+    }
+    let mut xfer = vec![false; width];
+    let mut comp = vec![false; width];
+    for s in spans {
+        let a = (s.start as u128 * width as u128 / end as u128) as usize;
+        let b = ((s.end as u128 * width as u128).div_ceil(end as u128) as usize).min(width);
+        let lane = if s.kind.is_transfer() {
+            &mut xfer
+        } else {
+            &mut comp
+        };
+        for cell in lane[a.min(width - 1)..b].iter_mut() {
+            *cell = true;
+        }
+    }
+    let render = |cells: &[bool]| -> String {
+        cells.iter().map(|&b| if b { '#' } else { '.' }).collect()
+    };
+    format!(
+        "transfer |{}|\ncompute  |{}|  (0 .. {:.3} ms)\n",
+        render(&xfer),
+        render(&comp),
+        end as f64 / 1e6
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name  22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let b = bars(&[1.0, 2.0, 4.0], 8);
+        assert_eq!(b[2].len(), 8);
+        assert_eq!(b[1].len(), 4);
+        assert_eq!(b[0].len(), 2);
+    }
+
+    #[test]
+    fn timeline_strip_marks_busy_cells() {
+        use eta_mem::timeline::{Span, SpanKind};
+        let spans = vec![
+            Span { kind: SpanKind::CopyH2D, start: 0, end: 50, bytes: 1 },
+            Span { kind: SpanKind::Compute, start: 50, end: 100, bytes: 0 },
+        ];
+        let strip = timeline_strip(&spans, 10);
+        let lines: Vec<&str> = strip.lines().collect();
+        assert!(lines[0].starts_with("transfer |#####"));
+        assert!(lines[0].contains("....|"), "{strip}");
+        assert!(lines[1].contains(".....#####"), "{strip}");
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        assert!(timeline_strip(&[], 10).contains("empty"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(44 * 1024), "44.0 KB");
+        assert_eq!(human_bytes(2 * 1024 * 1024), "2.0 MB");
+    }
+}

@@ -1,0 +1,545 @@
+//! CLI subcommand implementations, separated from `main` for testability.
+
+use crate::args::{ArgError, Args};
+use eta_baselines::{ChunkStream, CushaLike, Framework, GunrockLike, TigrLike};
+use eta_graph::generate::{rmat, web, RmatConfig, WebConfig};
+use eta_graph::{analysis, io, Csr};
+use eta_sim::GpuConfig;
+use etagraph::{Algorithm, EtaConfig, RunResult, TransferMode, UdcMode};
+use serde_json::json;
+use std::fmt::Write as _;
+
+/// A command's output: text for the terminal, optional JSON (with `--json`).
+#[derive(Debug)]
+pub struct Output {
+    pub text: String,
+    pub json: serde_json::Value,
+}
+
+/// Dispatches one invocation. `argv` excludes the program name.
+pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
+    let args = Args::parse(argv);
+    let _ = args.switch("json"); // handled by main; valid everywhere
+    let out = match args.positional(0) {
+        Some("generate") => generate(&args),
+        Some("info") => info(&args),
+        Some("run") => run(&args),
+        Some("datasets") => datasets(&args),
+        Some(other) => Err(ArgError(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+        None => Err(ArgError(usage())),
+    }?;
+    // Reject typos and flags this command never read (a stale or wrong
+    // invocation must not silently run something else).
+    args.ensure_consumed()?;
+    Ok(out)
+}
+
+pub fn usage() -> String {
+    "usage:\n\
+     etagraph generate rmat --scale S [--edges M] [--seed N] [--max-weight W] --out FILE\n\
+     etagraph generate web --vertices V --edges M [--communities C] [--lcc F]\n\
+     \x20                  [--island I] [--seed N] [--max-weight W] --out FILE\n\
+     etagraph info FILE [--json]\n\
+     etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
+     \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
+     \x20            [--device-mb MB] [--trace FILE] [--json]\n\
+     etagraph datasets [--json]"
+        .to_string()
+}
+
+fn generate(args: &Args) -> Result<Output, ArgError> {
+    let kind = args.require_positional(1, "generator kind (rmat|web)")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("missing --out FILE".into()))?
+        .to_string();
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let max_weight: u32 = args.get_parse("max-weight", 0)?;
+
+    let (mut graph, source) = match kind {
+        "rmat" => {
+            let scale: u32 = args.require_parse("scale")?;
+            if scale > 28 {
+                return Err(ArgError("--scale above 28 is not supported".into()));
+            }
+            let edges: usize = args.get_parse("edges", (1usize << scale) * 16)?;
+            (rmat(&RmatConfig::paper(scale, edges, seed)), 0u32)
+        }
+        "web" => {
+            let vertices: usize = args.require_parse("vertices")?;
+            let edges: usize = args.require_parse("edges")?;
+            let communities: usize = args.get_parse("communities", 32)?;
+            let lcc: f64 = args.get_parse("lcc", 0.8)?;
+            let island: usize = args.get_parse("island", 0)?;
+            web(&WebConfig {
+                vertices,
+                edges,
+                communities,
+                lcc_fraction: lcc,
+                source_island: if island > 0 { Some(island) } else { None },
+                seed,
+            })
+        }
+        other => return Err(ArgError(format!("unknown generator {other:?}"))),
+    };
+    if max_weight > 0 {
+        graph = graph.with_random_weights(seed ^ 0x77, max_weight);
+    }
+    // Reject typo'd flags *before* the side effect — every valid flag has
+    // been read by now, so an unconsumed one is a mistake.
+    args.ensure_consumed()?;
+    io::save(&graph, &out).map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    let text = format!(
+        "wrote {out}: {} vertices, {} edges{} (suggested source: {source})",
+        graph.n(),
+        graph.m(),
+        if graph.is_weighted() { ", weighted" } else { "" },
+    );
+    Ok(Output {
+        json: json!({
+            "file": out, "vertices": graph.n(), "edges": graph.m(),
+            "weighted": graph.is_weighted(), "source": source,
+        }),
+        text,
+    })
+}
+
+fn load_graph(args: &Args) -> Result<Csr, ArgError> {
+    let path = args.require_positional(1, "graph file")?;
+    io::load(path).map_err(|e| ArgError(format!("loading {path}: {e}")))
+}
+
+fn info(args: &Args) -> Result<Output, ArgError> {
+    let g = load_graph(args)?;
+    let comp = analysis::components(&g);
+    let hist = g.degree_histogram(10);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} vertices, {} edges ({}weighted), avg degree {:.2}, max degree {}",
+        g.n(),
+        g.m(),
+        if g.is_weighted() { "" } else { "un" },
+        g.avg_degree(),
+        g.max_degree()
+    );
+    let _ = writeln!(
+        text,
+        "{} components, largest covers {:.1}% of vertices",
+        comp.components,
+        comp.lcc_fraction * 100.0
+    );
+    let _ = writeln!(text, "out-degree histogram (last bucket = 9+):");
+    for (d, &count) in hist.iter().enumerate() {
+        let _ = writeln!(text, "  deg {d:>2}{}: {count}", if d == 9 { "+" } else { " " });
+    }
+    Ok(Output {
+        json: json!({
+            "vertices": g.n(), "edges": g.m(), "weighted": g.is_weighted(),
+            "avg_degree": g.avg_degree(), "max_degree": g.max_degree(),
+            "components": comp.components, "lcc_percent": comp.lcc_fraction * 100.0,
+            "degree_histogram": hist,
+        }),
+        text,
+    })
+}
+
+/// Parses the `run` configuration flags into an [`EtaConfig`].
+pub fn eta_config_from(args: &Args) -> Result<EtaConfig, ArgError> {
+    let mut cfg = EtaConfig {
+        k: args.get_parse("k", 16)?,
+        ..EtaConfig::paper()
+    };
+    if cfg.k == 0 {
+        return Err(ArgError("--k must be at least 1".into()));
+    }
+    if args.switch("no-smp") {
+        cfg.smp = false;
+    }
+    if args.switch("no-um") {
+        cfg.transfer = TransferMode::ExplicitCopy;
+    } else if args.switch("no-ump") {
+        cfg.transfer = TransferMode::Unified;
+    }
+    if args.switch("out-of-core") {
+        cfg.udc = UdcMode::OutOfCore;
+    }
+    if args.switch("pull") {
+        cfg.direction_optimizing = true;
+    }
+    Ok(cfg)
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, ArgError> {
+    match name {
+        "bfs" => Ok(Algorithm::Bfs),
+        "sssp" => Ok(Algorithm::Sssp),
+        "sswp" => Ok(Algorithm::Sswp),
+        "cc" => Ok(Algorithm::Cc),
+        other => Err(ArgError(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+fn run(args: &Args) -> Result<Output, ArgError> {
+    let g = load_graph(args)?;
+    if args.get("alg") == Some("pagerank") {
+        return run_pagerank(args, &g);
+    }
+    if let Some(list) = args.get("sources") {
+        let list = list.to_string();
+        return run_multi_bfs(args, &g, &list);
+    }
+    let alg = parse_algorithm(args.get("alg").unwrap_or("bfs"))?;
+    if alg.needs_weights() && !g.is_weighted() {
+        return Err(ArgError(format!(
+            "{} needs a weighted graph (generate with --max-weight)",
+            alg.name()
+        )));
+    }
+    let source: u32 = args.get_parse("source", 0)?;
+    if source as usize >= g.n() {
+        return Err(ArgError(format!(
+            "--source {source} out of range (graph has {} vertices)",
+            g.n()
+        )));
+    }
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+
+    let result: RunResult = match args.get("framework").unwrap_or("eta") {
+        "eta" => {
+            let cfg = eta_config_from(args)?;
+            let mut dev = eta_sim::Device::new(gpu);
+            etagraph::engine::run(&mut dev, &g, source, alg, &cfg)
+                .map_err(|e| ArgError(format!("run failed: {e}")))?
+        }
+        name => {
+            let fw: Box<dyn Framework> = match name {
+                "tigr" => Box::new(TigrLike::default()),
+                "gunrock" => Box::new(GunrockLike::default()),
+                "cusha" => Box::new(CushaLike::default()),
+                "chunkstream" => Box::new(ChunkStream::default()),
+                other => return Err(ArgError(format!("unknown framework {other:?}"))),
+            };
+            fw.run(gpu, &g, source, alg)
+                .map_err(|e| ArgError(format!("{name} failed: {e}")))?
+        }
+    };
+
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, result.timeline.to_chrome_trace())
+            .map_err(|e| ArgError(format!("writing trace {path}: {e}")))?;
+    }
+
+    let m = &result.metrics;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} from {source}: visited {} of {} ({:.2}%) in {} iterations",
+        alg.name(),
+        result.visited(),
+        g.n(),
+        result.activation_percent(),
+        result.iterations
+    );
+    let _ = writeln!(
+        text,
+        "simulated: {:.3} ms kernel, {:.3} ms total, {:.0}% of transfer hidden",
+        result.kernel_ms(),
+        result.total_ms(),
+        result.overlap_fraction * 100.0
+    );
+    let _ = writeln!(
+        text,
+        "counters: IPC {:.2}, unified-cache hit {:.1}%, {} global read transactions, {:.1} KB migrated in {} batches",
+        m.ipc(),
+        m.l1_hit_rate() * 100.0,
+        m.l1_requests,
+        result.um_stats.migrated_bytes as f64 / 1024.0,
+        result.um_stats.migration_batches.len(),
+    );
+    Ok(Output {
+        json: json!({
+            "algorithm": alg.name(),
+            "source": source,
+            "visited": result.visited(),
+            "iterations": result.iterations,
+            "kernel_ms": result.kernel_ms(),
+            "total_ms": result.total_ms(),
+            "overlap_fraction": result.overlap_fraction,
+            "metrics": m,
+            "um": result.um_stats,
+        }),
+        text,
+    })
+}
+
+/// Batched concurrent BFS over a comma-separated source list (iBFS-style;
+/// up to 32 sources share one traversal).
+fn run_multi_bfs(args: &Args, g: &Csr, list: &str) -> Result<Output, ArgError> {
+    let sources: Vec<u32> = list
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map_err(|_| ArgError(format!("--sources: cannot parse {tok:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if sources.is_empty() || sources.len() > etagraph::multi_bfs::MAX_BATCH {
+        return Err(ArgError(format!(
+            "--sources takes 1..={} vertices",
+            etagraph::multi_bfs::MAX_BATCH
+        )));
+    }
+    for &s in &sources {
+        if s as usize >= g.n() {
+            return Err(ArgError(format!("--sources: vertex {s} out of range")));
+        }
+    }
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let cfg = eta_config_from(args)?;
+    let mut dev = eta_sim::Device::new(gpu);
+    let r = etagraph::multi_bfs::run(&mut dev, g, &sources, &cfg)
+        .map_err(|e| ArgError(format!("multi-bfs failed: {e}")))?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "batched BFS: {} sources in {} joint iterations, {:.3} ms kernel / {:.3} ms total",
+        sources.len(),
+        r.iterations,
+        r.kernel_ns as f64 / 1e6,
+        r.total_ns as f64 / 1e6
+    );
+    let mut jrows = Vec::new();
+    for (s, &src) in sources.iter().enumerate() {
+        let visited = r.levels[s].iter().filter(|&&l| l != u32::MAX).count();
+        let _ = writeln!(text, "  source {src:>8}: reached {visited} vertices");
+        jrows.push(json!({"source": src, "visited": visited}));
+    }
+    Ok(Output {
+        json: json!({
+            "algorithm": "multi-BFS",
+            "sources": jrows,
+            "iterations": r.iterations,
+            "kernel_ms": r.kernel_ns as f64 / 1e6,
+            "total_ms": r.total_ns as f64 / 1e6,
+        }),
+        text,
+    })
+}
+
+fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let cfg = etagraph::pagerank::PageRankConfig {
+        damping: args.get_parse("damping", 0.85f32)?,
+        iterations: args.get_parse("iterations", 20)?,
+        eta: eta_config_from(args)?,
+    };
+    let mut dev = eta_sim::Device::new(gpu);
+    let r = etagraph::pagerank::run(&mut dev, g, &cfg)
+        .map_err(|e| ArgError(format!("pagerank failed: {e}")))?;
+    let mut top: Vec<(u32, f32)> = r.ranks.iter().copied().enumerate()
+        .map(|(v, rank)| (v as u32, rank))
+        .collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "PageRank: {} iterations, {:.3} ms kernel / {:.3} ms total",
+        r.iterations,
+        r.kernel_ns as f64 / 1e6,
+        r.total_ns as f64 / 1e6
+    );
+    let _ = writeln!(text, "top 10 vertices:");
+    for &(v, rank) in top.iter().take(10) {
+        let _ = writeln!(text, "  {v:>8}  {rank:.6}");
+    }
+    Ok(Output {
+        json: json!({
+            "algorithm": "PageRank",
+            "iterations": r.iterations,
+            "kernel_ms": r.kernel_ns as f64 / 1e6,
+            "total_ms": r.total_ns as f64 / 1e6,
+            "top10": top.iter().take(10).map(|&(v, rank)| json!({"vertex": v, "rank": rank})).collect::<Vec<_>>(),
+        }),
+        text,
+    })
+}
+
+fn datasets(_args: &Args) -> Result<Output, ArgError> {
+    let mut text = String::from("scaled evaluation datasets (built in-memory by eta-bench):\n");
+    let mut rows = Vec::new();
+    for name in eta_graph::datasets::ALL {
+        let _ = writeln!(text, "  {name}");
+        rows.push(json!(name));
+    }
+    let _ = writeln!(
+        text,
+        "regenerate the paper's tables: cargo run --release -p eta-bench --bin report -- all"
+    );
+    Ok(Output {
+        json: serde_json::Value::Array(rows),
+        text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("etagraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_info_run_pipeline() {
+        let f = tmpfile("pipeline.etag");
+        let out = dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --seed 7 --max-weight 32 --out {f}"
+        )))
+        .unwrap();
+        assert!(out.text.contains("weighted"));
+
+        let info = dispatch(argv(&format!("info {f}"))).unwrap();
+        assert_eq!(info.json["vertices"], 512);
+        assert!(info.json["weighted"].as_bool().unwrap());
+
+        let run = dispatch(argv(&format!("run {f} --alg sssp --source 3"))).unwrap();
+        assert!(run.json["visited"].as_u64().unwrap() > 0);
+        assert_eq!(run.json["algorithm"], "SSSP");
+
+        // Baseline frameworks work through the same interface.
+        let tigr = dispatch(argv(&format!("run {f} --alg bfs --framework tigr"))).unwrap();
+        assert!(tigr.json["total_ms"].as_f64().unwrap() > 0.0);
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn run_flags_map_to_config() {
+        let a = Args::parse(argv("run g --no-smp --no-ump --out-of-core --pull --k 8"));
+        let cfg = eta_config_from(&a).unwrap();
+        assert!(!cfg.smp);
+        assert_eq!(cfg.transfer, TransferMode::Unified);
+        assert_eq!(cfg.udc, UdcMode::OutOfCore);
+        assert!(cfg.direction_optimizing);
+        assert_eq!(cfg.k, 8);
+        let bad = Args::parse(argv("run g --k 0"));
+        assert!(eta_config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(dispatch(argv("frobnicate")).is_err());
+        // Typo'd flags are named, not ignored.
+        let f0 = tmpfile("typo.etag");
+        dispatch(argv(&format!("generate rmat --scale 8 --edges 2000 --out {f0}"))).unwrap();
+        let err = dispatch(argv(&format!("run {f0} --alg bfs --sorces 0,1"))).unwrap_err();
+        assert!(err.0.contains("--sorces"), "{err}");
+        // A typo'd generate must fail *without* writing the file.
+        let f1 = tmpfile("never-written.etag");
+        let err = dispatch(argv(&format!(
+            "generate rmat --scale 8 --edges 2000 --out {f1} --sede 7"
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("--sede"), "{err}");
+        assert!(!std::path::Path::new(&f1).exists(), "no side effect on error");
+        std::fs::remove_file(&f0).ok();
+        assert!(dispatch(argv("generate rmat --out /tmp/x.etag"))
+            .unwrap_err()
+            .0
+            .contains("--scale"));
+        let f = tmpfile("unweighted.etag");
+        dispatch(argv(&format!("generate rmat --scale 8 --edges 2000 --out {f}"))).unwrap();
+        let err = dispatch(argv(&format!("run {f} --alg sssp"))).unwrap_err();
+        assert!(err.0.contains("weighted"), "{err}");
+        let err = dispatch(argv(&format!("run {f} --alg bfs --source 99999"))).unwrap_err();
+        assert!(err.0.contains("out of range"));
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn web_generator_with_island() {
+        let f = tmpfile("web.etag");
+        let out = dispatch(argv(&format!(
+            "generate web --vertices 5000 --edges 30000 --communities 8 --island 50 --out {f}"
+        )))
+        .unwrap();
+        assert_eq!(out.json["source"], 0);
+        let run = dispatch(argv(&format!("run {f} --alg bfs"))).unwrap();
+        assert_eq!(run.json["visited"], 50, "island traversal");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn connected_components_via_cli() {
+        let f = tmpfile("cc.etag");
+        dispatch(argv(&format!("generate rmat --scale 9 --edges 4000 --out {f}"))).unwrap();
+        let out = dispatch(argv(&format!("run {f} --alg cc"))).unwrap();
+        assert_eq!(out.json["algorithm"], "CC");
+        // Baselines reject the extension cleanly.
+        let err = dispatch(argv(&format!("run {f} --alg cc --framework tigr"))).unwrap_err();
+        assert!(err.0.contains("EtaGraph-only"), "{err}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn pagerank_via_cli() {
+        let f = tmpfile("pr.etag");
+        dispatch(argv(&format!("generate rmat --scale 9 --edges 4000 --out {f}"))).unwrap();
+        let out = dispatch(argv(&format!("run {f} --alg pagerank --iterations 5"))).unwrap();
+        assert_eq!(out.json["algorithm"], "PageRank");
+        assert_eq!(out.json["top10"].as_array().unwrap().len(), 10);
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn multi_bfs_and_trace_via_cli() {
+        let f = tmpfile("multi.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
+        let out = dispatch(argv(&format!("run {f} --sources 0,1,7"))).unwrap();
+        assert_eq!(out.json["algorithm"], "multi-BFS");
+        assert_eq!(out.json["sources"].as_array().unwrap().len(), 3);
+        let bad = dispatch(argv(&format!("run {f} --sources 0,abc"))).unwrap_err();
+        assert!(bad.0.contains("--sources"));
+
+        let trace = tmpfile("run.trace.json");
+        dispatch(argv(&format!("run {f} --alg bfs --trace {trace}"))).unwrap();
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"ph\":\"X\""));
+        assert!(body.trim_end().ends_with(']'));
+        std::fs::remove_file(&f).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn datasets_lists_the_suite() {
+        let out = dispatch(argv("datasets")).unwrap();
+        assert_eq!(out.json.as_array().unwrap().len(), 7);
+        assert!(out.text.contains("uk2006"));
+    }
+
+    #[test]
+    fn device_oom_is_reported() {
+        let f = tmpfile("oom.etag");
+        dispatch(argv(&format!("generate rmat --scale 12 --edges 80000 --out {f}"))).unwrap();
+        let err =
+            dispatch(argv(&format!("run {f} --alg bfs --framework cusha --device-mb 1")))
+                .unwrap_err();
+        assert!(err.0.contains("O.O.M"), "{err}");
+        std::fs::remove_file(&f).ok();
+    }
+}

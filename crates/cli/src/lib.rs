@@ -1,0 +1,14 @@
+//! `eta-cli` — command-line interface for the EtaGraph reproduction.
+//!
+//! The `etagraph` binary generates graphs, inspects them, and runs
+//! traversals on the simulated GPU with any framework and ablation flags:
+//!
+//! ```text
+//! etagraph generate rmat --scale 16 --edges 1000000 --max-weight 64 --out g.etag
+//! etagraph info g.etag
+//! etagraph run g.etag --alg sssp --source 0 --json
+//! etagraph run g.etag --alg bfs --framework tigr --device-mb 32
+//! ```
+
+pub mod args;
+pub mod commands;

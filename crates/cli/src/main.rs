@@ -1,0 +1,25 @@
+use eta_cli::commands;
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    match commands::dispatch(argv) {
+        Ok(out) => {
+            // Write errors (e.g. EPIPE when piped into `head`) are not our
+            // caller's problem — exit quietly like a well-behaved CLI.
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let body = if json {
+                serde_json::to_string_pretty(&out.json).expect("serializable output")
+            } else {
+                out.text.trim_end().to_string()
+            };
+            let _ = writeln!(lock, "{body}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

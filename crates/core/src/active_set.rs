@@ -1,0 +1,121 @@
+//! Device-resident active set and virtual active set (§IV-A).
+//!
+//! The active set is "a simple device array" of vertex IDs with an atomic
+//! append counter; the virtual active set records the `(ID, Start Index,
+//! End Index)` 3-tuples of shadow vertices, stored as three parallel arrays
+//! for coalesced access. Counts live in single-word device slots; reading
+//! one back (to size the next launch) or resetting it costs a 4-byte PCIe
+//! hop — the per-iteration overhead that makes EtaGraph slightly slower than
+//! Tigr on the tiny Slashdot graph (Table III).
+
+use eta_mem::system::{DSlice, MemError};
+use eta_mem::Ns;
+use eta_sim::Device;
+
+/// A device array with an atomic append counter.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceQueue {
+    pub items: DSlice,
+    pub count: DSlice,
+    pub capacity: u32,
+}
+
+impl DeviceQueue {
+    pub fn alloc(dev: &mut Device, capacity: u32) -> Result<DeviceQueue, MemError> {
+        let items = dev.mem.alloc_explicit(capacity.max(1) as u64)?;
+        let count = dev.mem.alloc_explicit(1)?;
+        Ok(DeviceQueue {
+            items,
+            count,
+            capacity,
+        })
+    }
+
+    /// Reads the count back to the host (4-byte device→host transfer).
+    pub fn read_count(&self, dev: &mut Device, now: Ns) -> (u32, Ns) {
+        let end = dev.mem.copy_d2h(self.count, 1, now);
+        (dev.mem.host_read(self.count, 0, 1)[0], end)
+    }
+
+    /// Resets the counter to zero (4-byte host→device transfer).
+    pub fn reset(&self, dev: &mut Device, now: Ns) -> Ns {
+        dev.mem.copy_h2d(self.count, 0, &[0], now)
+    }
+
+    /// Host-side push during setup (seeding the source), free of charge —
+    /// it rides along with the label initialization copy.
+    pub fn host_seed(&self, dev: &mut Device, values: &[u32]) {
+        assert!(values.len() as u32 <= self.capacity);
+        dev.mem.host_write(self.items, 0, values);
+        dev.mem.host_write(self.count, 0, &[values.len() as u32]);
+    }
+}
+
+/// The virtual active set: shadow-vertex 3-tuples in structure-of-arrays
+/// form, plus the append counter.
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualQueue {
+    pub ids: DSlice,
+    pub starts: DSlice,
+    pub ends: DSlice,
+    pub count: DSlice,
+    pub capacity: u32,
+}
+
+impl VirtualQueue {
+    pub fn alloc(dev: &mut Device, capacity: u32) -> Result<VirtualQueue, MemError> {
+        let cap = capacity.max(1) as u64;
+        Ok(VirtualQueue {
+            ids: dev.mem.alloc_explicit(cap)?,
+            starts: dev.mem.alloc_explicit(cap)?,
+            ends: dev.mem.alloc_explicit(cap)?,
+            count: dev.mem.alloc_explicit(1)?,
+            capacity,
+        })
+    }
+
+    pub fn read_count(&self, dev: &mut Device, now: Ns) -> (u32, Ns) {
+        let end = dev.mem.copy_d2h(self.count, 1, now);
+        (dev.mem.host_read(self.count, 0, 1)[0], end)
+    }
+
+    pub fn reset(&self, dev: &mut Device, now: Ns) -> Ns {
+        dev.mem.copy_h2d(self.count, 0, &[0], now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_sim::GpuConfig;
+
+    #[test]
+    fn queue_roundtrip_and_costs() {
+        let mut dev = Device::new(GpuConfig::default_preset());
+        let q = DeviceQueue::alloc(&mut dev, 100).unwrap();
+        q.host_seed(&mut dev, &[7, 8, 9]);
+        let (count, t) = q.read_count(&mut dev, 0);
+        assert_eq!(count, 3);
+        assert!(t > 0, "readback crosses PCIe");
+        let t2 = q.reset(&mut dev, t);
+        assert!(t2 > t);
+        let (count, _) = q.read_count(&mut dev, t2);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn virtual_queue_allocates_three_arrays() {
+        let mut dev = Device::new(GpuConfig::default_preset());
+        let before = dev.mem.explicit_used_bytes();
+        let q = VirtualQueue::alloc(&mut dev, 1000).unwrap();
+        let used = dev.mem.explicit_used_bytes() - before;
+        assert!(used >= 3 * 1000 * 4);
+        assert_eq!(q.capacity, 1000);
+    }
+
+    #[test]
+    fn queue_oom_propagates() {
+        let mut dev = Device::new(GpuConfig::gtx1080ti_scaled(4096));
+        assert!(DeviceQueue::alloc(&mut dev, 10_000).is_err());
+    }
+}

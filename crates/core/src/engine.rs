@@ -1,0 +1,689 @@
+//! The EtaGraph iteration engine — Procedure 1 of the paper.
+//!
+//! ```text
+//! Load data into UM allocation CSR;        (DeviceGraph::upload)
+//! Init label and transfer to GPU;
+//! Allocate actSet / virtActSet at GPU;
+//! Init actSet;  cudaMemPrefetchAsync(CSR); (UnifiedPrefetch mode)
+//! while actSet not empty:
+//!     actSet2virtActSet();                 (ActToVirtKernel, on-device UDC)
+//!     invokeKernel(alg, virtActSet.size)   (TraversalKernel × {full, tail})
+//! ```
+//!
+//! Timing composition: each launch starts when its inputs are ready; the
+//! iteration advances to `max(kernel end, latest UM page arrival)`, so
+//! demand-paged transfers overlap compute exactly as Fig. 4 shows. Count
+//! readbacks and counter resets are explicit 4-byte PCIe hops — the
+//! per-iteration overhead that costs EtaGraph its lead on tiny graphs.
+//!
+//! Two optional variants branch off the main loop:
+//!
+//! * [`UdcMode::OutOfCore`] replaces the on-the-fly UDC with a
+//!   pre-materialized shadow table (§III-A's rejected alternative);
+//! * `direction_optimizing` switches BFS iterations whose frontier spans a
+//!   large fraction of the edges to pull-based processing over the
+//!   transposed graph.
+
+use crate::active_set::{DeviceQueue, VirtualQueue};
+use crate::config::{Algorithm, EtaConfig, UdcMode};
+use crate::device_graph::DeviceGraph;
+use crate::kernels::{PullBfsKernel, TraversalKernel};
+use crate::result::{IterationStats, RunResult};
+use crate::udc::{ActToVirtKernel, ExpandFromTableKernel, ShadowTable};
+use eta_graph::Csr;
+use eta_mem::system::{DSlice, MemError};
+use eta_sim::{Device, KernelMetrics, LaunchConfig};
+
+/// Device-resident out-of-core shadow table.
+struct DeviceShadowTable {
+    ids: DSlice,
+    starts: DSlice,
+    ends: DSlice,
+    vertex_range: DSlice,
+}
+
+/// Transposed topology for pull iterations.
+struct PullGraph {
+    row_offsets: DSlice,
+    col_idx: DSlice,
+}
+
+/// Pull when `frontier_out_edges * PULL_ALPHA > |E|` (Beamer's alpha).
+const PULL_ALPHA: u64 = 20;
+
+/// Everything a traversal needs on the device besides per-query label
+/// state: topology, work queues, and the optional out-of-core table /
+/// transposed graph. Built once by [`prepare`], reusable across queries
+/// (see [`crate::session::Session`]).
+pub struct QueryResources {
+    dg: DeviceGraph,
+    pull: Option<PullGraph>,
+    labels: DSlice,
+    tags: DSlice,
+    act: DeviceQueue,
+    next: DeviceQueue,
+    full: VirtualQueue,
+    partial: VirtualQueue,
+    shadow_table: Option<DeviceShadowTable>,
+}
+
+/// Uploads the topology and allocates every reusable device structure.
+/// Returns the resources and the time at which synchronous setup completed.
+pub fn prepare(
+    dev: &mut Device,
+    csr: &Csr,
+    cfg: &EtaConfig,
+    enable_pull: bool,
+) -> Result<(QueryResources, eta_mem::Ns), MemError> {
+    let n = csr.n() as u32;
+    let m = csr.m() as u64;
+    let (dg, mut now) = DeviceGraph::upload(dev, csr, cfg.transfer, 0)?;
+
+    // Direction-optimizing BFS additionally needs the transposed topology.
+    let pull = if enable_pull && cfg.direction_optimizing && m > 0 {
+        let transposed = csr.transpose();
+        let (tg, end) = DeviceGraph::upload(dev, &transposed, cfg.transfer, now)?;
+        now = end;
+        tg.prefetch(dev, now);
+        Some(PullGraph {
+            row_offsets: tg.row_offsets,
+            col_idx: tg.col_idx,
+        })
+    } else {
+        None
+    };
+
+    let labels = dev.mem.alloc_explicit(n as u64)?;
+    let tags = dev.mem.alloc_explicit(n as u64)?;
+    let act = DeviceQueue::alloc(dev, n)?;
+    let next = DeviceQueue::alloc(dev, n)?;
+
+    // Virtual active sets. In-core UDC bounds the full queue by |E|/K and
+    // the tail queue by |V|; the out-of-core table needs capacity for every
+    // shadow of the graph at once — part of its extra-memory cost.
+    let (full, partial, shadow_table) = match cfg.udc {
+        UdcMode::InCore => {
+            let full_cap = (csr.m() as u32 / cfg.k).max(1) + 1;
+            (
+                VirtualQueue::alloc(dev, full_cap)?,
+                VirtualQueue::alloc(dev, n)?,
+                None,
+            )
+        }
+        UdcMode::OutOfCore => {
+            let table = ShadowTable::build(csr, cfg.k);
+            let n_shadows = table.len() as u32;
+            let ids = dev.mem.alloc_explicit(n_shadows.max(1) as u64)?;
+            let starts = dev.mem.alloc_explicit(n_shadows.max(1) as u64)?;
+            let ends = dev.mem.alloc_explicit(n_shadows.max(1) as u64)?;
+            let vertex_range = dev.mem.alloc_explicit(n as u64 + 1)?;
+            // The table must be shipped to the device — the loading cost
+            // §III-A says in-core UDC avoids.
+            if n_shadows > 0 {
+                now = dev.mem.copy_h2d(ids, 0, &table.ids, now);
+                now = dev.mem.copy_h2d(starts, 0, &table.starts, now);
+                now = dev.mem.copy_h2d(ends, 0, &table.ends, now);
+            }
+            now = dev.mem.copy_h2d(vertex_range, 0, &table.vertex_range, now);
+            let queue = VirtualQueue::alloc(dev, n_shadows.max(1))?;
+            (
+                queue, // single mixed-degree queue
+                VirtualQueue::alloc(dev, 1)?,
+                Some(DeviceShadowTable {
+                    ids,
+                    starts,
+                    ends,
+                    vertex_range,
+                }),
+            )
+        }
+    };
+    Ok((
+        QueryResources {
+            dg,
+            pull,
+            labels,
+            tags,
+            act,
+            next,
+            full,
+            partial,
+            shadow_table,
+        },
+        now,
+    ))
+}
+
+/// Runs one traversal on a fresh device state.
+///
+/// `csr` must carry weights when `alg` needs them. Returns
+/// [`MemError::Oom`] when the configured transfer mode requires explicit
+/// device allocations that do not fit (the "w/o UM" ablation on uk-2006).
+pub fn run(
+    dev: &mut Device,
+    csr: &Csr,
+    source: u32,
+    alg: Algorithm,
+    cfg: &EtaConfig,
+) -> Result<RunResult, MemError> {
+    let (res, ready) = prepare(dev, csr, cfg, alg == Algorithm::Bfs)?;
+    // Single-shot semantics: preparation (upload, table copies) is part of
+    // the measured total, so the query "starts" at time zero.
+    run_query(dev, &res, csr, source, alg, cfg, 0, ready)
+}
+
+/// Runs one query on already-prepared resources.
+///
+/// `query_start` anchors the measured total and the timeline filter;
+/// `ready_ns` is when the resources become usable (per-query work begins at
+/// the later of the two). Per-query state (labels, tags, frontier seed) is
+/// re-initialized and charged; the topology and work queues of `res` are
+/// reused, so a warm query on a [`crate::session::Session`] skips the
+/// upload entirely.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query(
+    dev: &mut Device,
+    res: &QueryResources,
+    csr: &Csr,
+    source: u32,
+    alg: Algorithm,
+    cfg: &EtaConfig,
+    query_start: eta_mem::Ns,
+    ready_ns: eta_mem::Ns,
+) -> Result<RunResult, MemError> {
+    assert!(
+        !alg.needs_weights() || csr.is_weighted(),
+        "{} needs an edge-weighted graph",
+        alg.name()
+    );
+    assert!((source as usize) < csr.n(), "source out of range");
+    let n = csr.n() as u32;
+    let m = csr.m() as u64;
+    let tpb = cfg.threads_per_block;
+    let mut now = query_start.max(ready_ns);
+    let QueryResources {
+        dg,
+        pull,
+        labels,
+        tags,
+        act,
+        next,
+        full,
+        partial,
+        shadow_table,
+    } = res;
+    let (labels, tags) = (*labels, *tags);
+    let (full, partial) = (*full, *partial);
+    let pull = if alg == Algorithm::Bfs { pull.as_ref() } else { None };
+
+    // "Init label and transfer to GPU": one |V|-word copy each for labels
+    // and tags. Connected components is all-active: every vertex seeds the
+    // first frontier carrying its own ID.
+    let init: Vec<u32> = if alg.all_active() {
+        (0..n).collect()
+    } else {
+        let mut v = vec![alg.init_label(); n as usize];
+        v[source as usize] = alg.source_label();
+        v
+    };
+    now = dev.mem.copy_h2d(labels, 0, &init, now);
+    now = dev.mem.copy_h2d(tags, 0, &vec![0u32; n as usize], now);
+    let seeds: Vec<u32> = if alg.all_active() {
+        (0..n).collect()
+    } else {
+        vec![source]
+    };
+    act.host_seed(dev, &seeds);
+    now = dev.mem.copy_h2d(act.count, 0, &[seeds.len() as u32], now);
+
+    // Procedure 1: `cudaMemPrefetchAsync(CSR)` after the label transfer.
+    // Idempotent on warm sessions: already-resident pages move nothing.
+    dg.prefetch(dev, now);
+
+    // --- iterate until the active set drains --------------------------------
+    let mut queues = (*act, *next);
+    let mut act_len = if alg.all_active() { n } else { 1 };
+    let mut iter = 0u32;
+    let mut per_iteration = Vec::new();
+    let mut metrics = KernelMetrics::default();
+    let mut kernel_ns = 0u64;
+    let init_label = alg.init_label();
+
+    while act_len > 0 {
+        iter += 1;
+        let start_ns = now;
+        let (act, next) = (&queues.0, &queues.1);
+        now = next.reset(dev, now);
+
+        // Direction decision (observer-side; real implementations track
+        // frontier edge counts while building the frontier).
+        let use_pull = pull.is_some() && {
+            let frontier = dev.mem.host_read(act.items, 0, act_len as u64);
+            let out_edges: u64 = frontier
+                .iter()
+                .map(|&v| (csr.row_offsets[v as usize + 1] - csr.row_offsets[v as usize]) as u64)
+                .sum();
+            out_edges * PULL_ALPHA > m
+        };
+
+        let (nf, np) = if use_pull {
+            let pg = pull.expect("checked above");
+            let kern = PullBfsKernel {
+                n,
+                t_row_offsets: pg.row_offsets,
+                t_col_idx: pg.col_idx,
+                labels,
+                next: *next,
+                iter,
+            };
+            let r = dev.launch(&kern, LaunchConfig::for_items(n, tpb), now);
+            now = r.end_ns.max(r.metrics.data_ready_ns);
+            metrics.merge(&r.metrics);
+            kernel_ns += r.metrics.time_ns;
+            (0, 0)
+        } else {
+            // Reset the virtual active sets ("reset when shadow vertices
+            // are processed").
+            now = full.reset(dev, now);
+            if shadow_table.is_none() {
+                now = partial.reset(dev, now);
+            }
+
+            // UDC: on-the-fly cut or table expansion.
+            let r = match &shadow_table {
+                None => {
+                    let a2v =
+                        ActToVirtKernel::new(act, act_len, dg.row_offsets, &full, &partial, cfg.k);
+                    dev.launch(&a2v, LaunchConfig::for_items(act_len, tpb), now)
+                }
+                Some(t) => {
+                    let expand = ExpandFromTableKernel {
+                        act_items: act.items,
+                        act_len,
+                        table_ids: t.ids,
+                        table_starts: t.starts,
+                        table_ends: t.ends,
+                        vertex_range: t.vertex_range,
+                        out: full,
+                    };
+                    dev.launch(&expand, LaunchConfig::for_items(act_len, tpb), now)
+                }
+            };
+            now = r.end_ns.max(r.metrics.data_ready_ns);
+            metrics.merge(&r.metrics);
+            kernel_ns += r.metrics.time_ns;
+
+            let (nf, t) = full.read_count(dev, now);
+            now = t;
+            let np = if shadow_table.is_none() {
+                let (np, t) = partial.read_count(dev, now);
+                now = t;
+                np
+            } else {
+                0
+            };
+
+            // Traverse the uniform-K queue, then the tails (out-of-core mode
+            // runs everything through the mixed queue in the "full" slot).
+            for (queue, len) in [(full, nf), (partial, np)] {
+                if len == 0 {
+                    continue;
+                }
+                let kern = TraversalKernel {
+                    alg,
+                    smp: cfg.smp,
+                    k: cfg.k,
+                    queue,
+                    len,
+                    col_idx: dg.col_idx,
+                    // BFS ignores weights even on a weighted graph.
+                    weights: if alg.needs_weights() { dg.weights } else { None },
+                    labels,
+                    tags,
+                    next: *next,
+                    iter,
+                    threads_per_block: tpb,
+                };
+                let r = dev.launch(&kern, LaunchConfig::for_items(len, tpb), now);
+                now = r.end_ns.max(r.metrics.data_ready_ns);
+                metrics.merge(&r.metrics);
+                kernel_ns += r.metrics.time_ns;
+            }
+            (nf, np)
+        };
+
+        // Observer-only statistics (no simulated cost): cumulative visits.
+        let visited_total = dev
+            .mem
+            .host_read(labels, 0, n as u64)
+            .iter()
+            .filter(|&&l| l != init_label)
+            .count() as u64;
+        per_iteration.push(IterationStats {
+            iteration: iter,
+            active: act_len,
+            shadow_full: nf,
+            shadow_partial: np,
+            pulled: use_pull,
+            visited_total,
+            start_ns,
+            end_ns: now,
+        });
+
+        // Swap frontiers and read the new size.
+        queues = (queues.1, queues.0);
+        let (len, t) = queues.0.read_count(dev, now);
+        act_len = len;
+        now = t;
+    }
+
+    // --- results back to the host -------------------------------------------
+    now = dev.mem.copy_d2h(labels, n as u64, now);
+    let labels_host = dev.mem.host_read(labels, 0, n as u64).to_vec();
+
+    // Only this query's spans (warm sessions accumulate earlier queries').
+    let mut timeline = eta_mem::Timeline::new();
+    for span in dev.merged_timeline().spans() {
+        if span.start >= query_start {
+            timeline.push(*span);
+        }
+    }
+    Ok(RunResult {
+        algorithm: alg,
+        labels: labels_host,
+        iterations: iter,
+        kernel_ns,
+        total_ns: now - query_start,
+        per_iteration,
+        metrics,
+        um_stats: dev.mem.um.stats.clone(),
+        overlap_fraction: timeline.overlap_fraction(),
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransferMode;
+    use eta_graph::generate::{rmat, RmatConfig};
+    use eta_graph::{reference, INF};
+    use eta_sim::GpuConfig;
+
+    fn device() -> Device {
+        Device::new(GpuConfig::default_preset())
+    }
+
+    fn test_graph() -> Csr {
+        rmat(&RmatConfig::paper(11, 30_000, 17)).with_random_weights(9, 32)
+    }
+
+    #[test]
+    fn bfs_matches_reference_all_modes() {
+        let g = test_graph();
+        let expect = reference::bfs(&g, 0);
+        for transfer in [
+            TransferMode::UnifiedPrefetch,
+            TransferMode::Unified,
+            TransferMode::ExplicitCopy,
+            TransferMode::ZeroCopy,
+        ] {
+            let cfg = EtaConfig {
+                transfer,
+                ..EtaConfig::default()
+            };
+            let mut dev = device();
+            let r = run(&mut dev, &g, 0, Algorithm::Bfs, &cfg).unwrap();
+            assert_eq!(r.labels, expect, "mode {transfer:?}");
+            assert!(r.iterations > 2);
+            assert!(r.total_ns >= r.kernel_ns);
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference_without_smp() {
+        let g = test_graph();
+        let expect = reference::bfs(&g, 3);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 3, Algorithm::Bfs, &EtaConfig::without_smp()).unwrap();
+        assert_eq!(r.labels, expect);
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let g = test_graph();
+        let expect = reference::sssp(&g, 0);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Sssp, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels, expect);
+    }
+
+    #[test]
+    fn sswp_matches_reference() {
+        let g = test_graph();
+        let expect = reference::sswp(&g, 0);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Sswp, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels, expect);
+    }
+
+    #[test]
+    fn out_of_core_udc_matches_in_core() {
+        let g = test_graph();
+        for alg in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::Sswp] {
+            let mut dev = device();
+            let in_core = run(&mut dev, &g, 0, alg, &EtaConfig::paper()).unwrap();
+            let mut dev = device();
+            let out_core = run(&mut dev, &g, 0, alg, &EtaConfig::out_of_core()).unwrap();
+            assert_eq!(in_core.labels, out_core.labels, "{}", alg.name());
+            // The rejected variant always ships the shadow table (§III-A's
+            // extra loading cost), visible as additional explicit copies.
+            let h2d = |r: &crate::result::RunResult| -> u64 {
+                r.timeline
+                    .spans()
+                    .iter()
+                    .filter(|s| matches!(s.kind, eta_mem::timeline::SpanKind::CopyH2D))
+                    .map(|s| s.bytes)
+                    .sum()
+            };
+            assert!(
+                h2d(&out_core) > h2d(&in_core),
+                "{}: out-of-core must transfer the table",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_core_udc_loses_at_scale() {
+        // On a large graph the table transfer and memory dominate the
+        // per-iteration savings — the reason §III-A picks in-core.
+        let g = rmat(&RmatConfig::paper(15, 3_000_000, 71));
+        let mut dev = device();
+        let in_core = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        let mut dev = device();
+        let out_core = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::out_of_core()).unwrap();
+        assert_eq!(in_core.labels, out_core.labels);
+        assert!(
+            out_core.total_ns > in_core.total_ns,
+            "out-of-core at scale: {} vs {}",
+            out_core.total_ns,
+            in_core.total_ns
+        );
+    }
+
+    #[test]
+    fn direction_optimizing_bfs_matches_reference() {
+        let g = test_graph();
+        let expect = reference::bfs(&g, 0);
+        let mut dev = device();
+        let r = run(
+            &mut dev,
+            &g,
+            0,
+            Algorithm::Bfs,
+            &EtaConfig::direction_optimizing(),
+        )
+        .unwrap();
+        assert_eq!(r.labels, expect);
+        // A power-law graph's peak iterations must actually pull.
+        assert!(
+            r.per_iteration.iter().any(|s| s.pulled),
+            "no iteration pulled on a dense-frontier graph"
+        );
+        assert!(
+            !r.per_iteration[0].pulled,
+            "the single-source first iteration must push"
+        );
+    }
+
+    #[test]
+    fn direction_optimizing_is_ignored_for_weighted_algorithms() {
+        let g = test_graph();
+        let mut dev = device();
+        let r = run(
+            &mut dev,
+            &g,
+            0,
+            Algorithm::Sssp,
+            &EtaConfig::direction_optimizing(),
+        )
+        .unwrap();
+        assert_eq!(r.labels, reference::sssp(&g, 0));
+        assert!(r.per_iteration.iter().all(|s| !s.pulled));
+    }
+
+    #[test]
+    fn connected_components_match_union_find() {
+        // CC propagates along out-edges, so symmetrize first (WCC).
+        let base = rmat(&RmatConfig::paper(11, 18_000, 41));
+        let mut edges = base.edge_tuples();
+        edges.extend(base.edge_tuples().iter().map(|&(a, b)| (b, a)));
+        let g = Csr::from_edges(base.n(), &edges);
+
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Cc, &EtaConfig::paper()).unwrap();
+
+        // Oracle: min vertex ID per union-find component.
+        let mut uf = eta_graph::analysis::UnionFind::new(g.n());
+        for (a, b) in g.edge_tuples() {
+            uf.union(a, b);
+        }
+        let mut min_of_root = std::collections::HashMap::new();
+        for v in 0..g.n() as u32 {
+            let root = uf.find(v);
+            let slot = min_of_root.entry(root).or_insert(v);
+            *slot = (*slot).min(v);
+        }
+        for v in 0..g.n() as u32 {
+            let expect = min_of_root[&uf.find(v)];
+            assert_eq!(r.labels[v as usize], expect, "vertex {v}");
+        }
+        // All-active: activation is total by construction.
+        assert_eq!(r.visited(), g.n());
+    }
+
+    #[test]
+    fn cc_on_disconnected_islands() {
+        // Two islands plus an isolated vertex; labels converge to each
+        // island's minimum ID.
+        let g = Csr::from_edges(7, &[(0, 1), (1, 0), (1, 2), (2, 1), (4, 5), (5, 4)]);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Cc, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels, vec![0, 0, 0, 3, 4, 4, 6]);
+    }
+
+    #[test]
+    fn per_iteration_stats_are_consistent() {
+        let g = test_graph();
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.per_iteration.len(), r.iterations as usize);
+        // Visits are cumulative and non-decreasing; times are monotone.
+        for w in r.per_iteration.windows(2) {
+            assert!(w[0].visited_total <= w[1].visited_total);
+            assert!(w[0].end_ns <= w[1].start_ns);
+        }
+        // Active counts match Fig. 2's grow-then-shrink shape: the peak is
+        // strictly inside the run for a power-law graph.
+        let peak = r.per_iteration.iter().map(|s| s.active).max().unwrap();
+        assert!(peak > r.per_iteration[0].active);
+        assert!(peak > r.per_iteration.last().unwrap().active);
+        // Final visited equals the labels' count.
+        assert_eq!(
+            r.per_iteration.last().unwrap().visited_total as usize,
+            r.visited()
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels, vec![0, 1, INF, INF]);
+        assert_eq!(r.visited(), 2);
+    }
+
+    #[test]
+    fn single_vertex_graph_terminates() {
+        let g = Csr::from_edges(1, &[]);
+        let mut dev = device();
+        let r = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels, vec![0]);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn explicit_mode_ooms_on_tiny_device() {
+        let g = test_graph();
+        let mut dev = Device::new(GpuConfig::gtx1080ti_scaled(64 * 1024));
+        let err = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::without_um());
+        assert!(matches!(err, Err(MemError::Oom { .. })));
+    }
+
+    #[test]
+    fn smp_reduces_dram_transactions() {
+        // The headline Fig. 7 effect, end to end. Needs a graph whose edge
+        // array exceeds the 2.75 MiB L2 and enough frontier width for high
+        // occupancy — on tiny graphs everything is compulsory misses and SMP
+        // can't help (which is also why the paper measures on LiveJournal).
+        let g = rmat(&RmatConfig::paper(15, 3_000_000, 17));
+        let mut dev = device();
+        let with = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        let mut dev = device();
+        let without = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::without_smp()).unwrap();
+        assert_eq!(with.labels, without.labels);
+        // nvprof's gld_transactions analog: vectorized bursts need far
+        // fewer global load transactions (paper Fig. 7: 0.48x).
+        assert!(
+            (with.metrics.l1_requests as f64) < 0.8 * without.metrics.l1_requests as f64,
+            "SMP: {} vs w/o: {}",
+            with.metrics.l1_requests,
+            without.metrics.l1_requests
+        );
+        // And the kernel is faster end to end.
+        assert!(with.metrics.cycles < without.metrics.cycles);
+    }
+
+    #[test]
+    fn prefetch_beats_demand_paging_on_full_traversal() {
+        // Large enough that demand paging pays many per-batch latencies
+        // while prefetch streams a few 2 MiB chunks.
+        let g = rmat(&RmatConfig::paper(14, 400_000, 23)).with_random_weights(5, 32);
+        let mut dev = device();
+        let ump = run(&mut dev, &g, 0, Algorithm::Sssp, &EtaConfig::paper()).unwrap();
+        let mut dev = device();
+        let no_ump = run(&mut dev, &g, 0, Algorithm::Sssp, &EtaConfig::without_ump()).unwrap();
+        assert_eq!(ump.labels, no_ump.labels);
+        assert!(
+            ump.total_ns < no_ump.total_ns,
+            "UMP {} vs w/o UMP {}",
+            ump.total_ns,
+            no_ump.total_ns
+        );
+        // Demand paging migrates in small batches; prefetch in 2 MiB chunks.
+        assert!(no_ump.um_stats.migration_batches.len() > ump.um_stats.migration_batches.len());
+        assert!(!ump.um_stats.prefetch_chunks.is_empty());
+    }
+}

@@ -1,0 +1,533 @@
+//! PageRank on the EtaGraph machinery — the generality demonstration.
+//!
+//! §II-C of the paper contrasts traversal algorithms with "PageRank-like
+//! algorithms" that update every vertex every iteration, and §VIII claims
+//! "SMP can be easily applied to other vertex-centric frameworks". This
+//! module backs that claim: PageRank runs on the same Unified Degree Cut
+//! shadow vertices and the same Shared-Memory-Prefetch access shape, with
+//! one difference that actually *simplifies* things — because all vertices
+//! are active every iteration, the UDC transformation runs **once** and the
+//! virtual active set is reused for the whole computation.
+//!
+//! Ranks are IEEE-754 `f32` stored in device words; scatter-accumulation
+//! uses the simulator's `atomicAdd(float)` analog. Results are validated
+//! against the `f64` host reference within a tolerance.
+
+use crate::active_set::VirtualQueue;
+use crate::config::EtaConfig;
+use crate::device_graph::DeviceGraph;
+use crate::udc::shadow_count_graph;
+use eta_graph::Csr;
+use eta_mem::system::{DSlice, MemError};
+use eta_mem::Ns;
+use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
+
+/// PageRank configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor (0.85 in the original formulation).
+    pub damping: f32,
+    /// Fixed Jacobi iteration count (PageRank-like algorithms iterate to
+    /// value convergence; a fixed count keeps runs comparable).
+    pub iterations: u32,
+    /// EtaGraph machinery knobs (K, SMP, transfer mode).
+    pub eta: EtaConfig,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 20,
+            eta: EtaConfig::paper(),
+        }
+    }
+}
+
+/// Outcome of a PageRank run.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    pub ranks: Vec<f32>,
+    pub iterations: u32,
+    pub kernel_ns: Ns,
+    pub total_ns: Ns,
+    pub metrics: KernelMetrics,
+}
+
+/// One-time kernel: cut ALL vertices into shadow tuples (static UDC).
+struct StaticUdcKernel {
+    n: u32,
+    row_offsets: DSlice,
+    out: VirtualQueue,
+    k: u32,
+}
+
+impl Kernel for StaticUdcKernel {
+    fn name(&self) -> &'static str {
+        "pagerank_static_udc"
+    }
+
+    fn run(&self, w: &mut WarpCtx<'_>) {
+        let tids = w.thread_ids();
+        let mask = w.mask_for_items(self.n);
+        if mask == 0 {
+            return;
+        }
+        let start = w.load(self.row_offsets, &tids, mask);
+        let mut v1 = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            v1[lane] = tids[lane].wrapping_add(1);
+        }
+        let end = w.load(self.row_offsets, &v1, mask);
+        w.alu(2);
+        let mut parts = [0u32; WARP_SIZE];
+        let mut any = 0u32;
+        let mut max_p = 0u32;
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 1 {
+                let deg = end[lane] - start[lane];
+                parts[lane] = deg.div_ceil(self.k);
+                if parts[lane] > 0 {
+                    any |= 1 << lane;
+                    max_p = max_p.max(parts[lane]);
+                }
+            }
+        }
+        if any == 0 {
+            return;
+        }
+        let base = w.atomic_add(self.out.count, &[0; WARP_SIZE], &parts, any);
+        for p in 0..max_p {
+            let mut row = 0u32;
+            let mut pos = [0u32; WARP_SIZE];
+            let mut s = [0u32; WARP_SIZE];
+            let mut e = [0u32; WARP_SIZE];
+            for lane in 0..WARP_SIZE {
+                if (any >> lane) & 1 == 1 && p < parts[lane] {
+                    row |= 1 << lane;
+                    pos[lane] = base[lane] + p;
+                    s[lane] = start[lane] + p * self.k;
+                    e[lane] = (s[lane] + self.k).min(end[lane]);
+                }
+            }
+            w.alu(1);
+            w.store(self.out.ids, &pos, &tids, row);
+            w.store(self.out.starts, &pos, &s, row);
+            w.store(self.out.ends, &pos, &e, row);
+        }
+    }
+}
+
+/// Per-iteration pass 1: `contrib[v] = rank[v] / out_degree(v)` (dangling
+/// vertices contribute 0 here; their mass is redistributed on the host-side
+/// base term, matching the reference).
+struct ContribKernel {
+    n: u32,
+    row_offsets: DSlice,
+    ranks: DSlice,
+    contrib: DSlice,
+}
+
+impl Kernel for ContribKernel {
+    fn name(&self) -> &'static str {
+        "pagerank_contrib"
+    }
+
+    fn run(&self, w: &mut WarpCtx<'_>) {
+        let tids = w.thread_ids();
+        let mask = w.mask_for_items(self.n);
+        if mask == 0 {
+            return;
+        }
+        let lo = w.load(self.row_offsets, &tids, mask);
+        let mut v1 = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            v1[lane] = tids[lane].wrapping_add(1);
+        }
+        let hi = w.load(self.row_offsets, &v1, mask);
+        let rank = w.load(self.ranks, &tids, mask);
+        w.alu(2);
+        let mut out = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 1 {
+                let deg = hi[lane] - lo[lane];
+                let share = if deg == 0 {
+                    0.0
+                } else {
+                    f32::from_bits(rank[lane]) / deg as f32
+                };
+                out[lane] = share.to_bits();
+            }
+        }
+        w.store(self.contrib, &tids, &out, mask);
+    }
+}
+
+/// Per-iteration pass 2: scatter each shadow's contribution to its
+/// neighbors with float atomics. SMP stages the neighbor IDs exactly as the
+/// traversal kernel does.
+struct ScatterKernel {
+    smp: bool,
+    k: u32,
+    queue: VirtualQueue,
+    len: u32,
+    col_idx: DSlice,
+    contrib: DSlice,
+    next_ranks: DSlice,
+    threads_per_block: u32,
+}
+
+impl Kernel for ScatterKernel {
+    fn name(&self) -> &'static str {
+        "pagerank_scatter"
+    }
+
+    fn shared_words_per_block(&self, threads_per_block: u32) -> u64 {
+        if self.smp {
+            threads_per_block as u64 * self.k as u64
+        } else {
+            0
+        }
+    }
+
+    fn run(&self, w: &mut WarpCtx<'_>) {
+        let tids = w.thread_ids();
+        let mask = w.mask_for_items(self.len);
+        if mask == 0 {
+            return;
+        }
+        let vid = w.load(self.queue.ids, &tids, mask);
+        let start = w.load(self.queue.starts, &tids, mask);
+        let end = w.load(self.queue.ends, &tids, mask);
+        let share_bits = w.load(self.contrib, &vid, mask);
+        w.alu(1);
+        let mut deg = [0u32; WARP_SIZE];
+        let mut max_deg = 0u32;
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 1 {
+                deg[lane] = end[lane] - start[lane];
+                max_deg = max_deg.max(deg[lane]);
+            }
+        }
+        if max_deg == 0 {
+            return;
+        }
+
+        let scatter = |w: &mut WarpCtx<'_>, dst: &[u32; WARP_SIZE], row: u32| {
+            let mut val = [0f32; WARP_SIZE];
+            for lane in 0..WARP_SIZE {
+                if (row >> lane) & 1 == 1 {
+                    val[lane] = f32::from_bits(share_bits[lane]);
+                }
+            }
+            w.atomic_add_f32(self.next_ranks, dst, &val, row);
+        };
+
+        if self.smp {
+            let tpb = self.threads_per_block;
+            let mut slot_base = [0u32; WARP_SIZE];
+            for lane in 0..WARP_SIZE {
+                slot_base[lane] = (tids[lane] % tpb) * self.k;
+            }
+            let rows = w.load_burst(self.col_idx, &start, &deg, mask);
+            for (j, row_vals) in rows.iter().enumerate() {
+                let mut row = 0u32;
+                let mut slots = [0u32; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    if (mask >> lane) & 1 == 1 && (j as u32) < deg[lane] {
+                        row |= 1 << lane;
+                        slots[lane] = slot_base[lane] + j as u32;
+                    }
+                }
+                w.store_shared(&slots, row_vals, row);
+            }
+            for j in 0..max_deg {
+                let mut row = 0u32;
+                let mut slots = [0u32; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    if (mask >> lane) & 1 == 1 && j < deg[lane] {
+                        row |= 1 << lane;
+                        slots[lane] = slot_base[lane] + j;
+                    }
+                }
+                if row == 0 {
+                    continue;
+                }
+                let dst = w.load_shared(&slots, row);
+                scatter(w, &dst, row);
+            }
+        } else {
+            for j in 0..max_deg {
+                let mut row = 0u32;
+                let mut idx = [0u32; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    if (mask >> lane) & 1 == 1 && j < deg[lane] {
+                        row |= 1 << lane;
+                        idx[lane] = start[lane] + j;
+                    }
+                }
+                if row == 0 {
+                    continue;
+                }
+                let dst = w.load(self.col_idx, &idx, row);
+                scatter(w, &dst, row);
+            }
+        }
+    }
+}
+
+/// Per-iteration pass 3: `rank[v] = base + d * next[v]; next[v] = 0`.
+struct ApplyKernel {
+    n: u32,
+    ranks: DSlice,
+    next_ranks: DSlice,
+    base: f32,
+    damping: f32,
+}
+
+impl Kernel for ApplyKernel {
+    fn name(&self) -> &'static str {
+        "pagerank_apply"
+    }
+
+    fn run(&self, w: &mut WarpCtx<'_>) {
+        let tids = w.thread_ids();
+        let mask = w.mask_for_items(self.n);
+        if mask == 0 {
+            return;
+        }
+        let nx = w.load(self.next_ranks, &tids, mask);
+        w.alu(2);
+        let mut new = [0u32; WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if (mask >> lane) & 1 == 1 {
+                new[lane] = (self.base + self.damping * f32::from_bits(nx[lane])).to_bits();
+            }
+        }
+        w.store(self.ranks, &tids, &new, mask);
+        w.store(self.next_ranks, &tids, &[0f32.to_bits(); WARP_SIZE], mask);
+    }
+}
+
+/// Runs PageRank on the simulated device.
+pub fn run(dev: &mut Device, csr: &Csr, cfg: &PageRankConfig) -> Result<PageRankResult, MemError> {
+    let n = csr.n() as u32;
+    if n == 0 {
+        return Ok(PageRankResult {
+            ranks: Vec::new(),
+            iterations: 0,
+            kernel_ns: 0,
+            total_ns: 0,
+            metrics: KernelMetrics::default(),
+        });
+    }
+    let tpb = cfg.eta.threads_per_block;
+    let (dg, mut now) = DeviceGraph::upload(dev, csr, cfg.eta.transfer, 0)?;
+
+    let ranks = dev.mem.alloc_explicit(n as u64)?;
+    let next_ranks = dev.mem.alloc_explicit(n as u64)?;
+    let contrib = dev.mem.alloc_explicit(n as u64)?;
+    let n_shadows = shadow_count_graph(csr, cfg.eta.k) as u32;
+    let queue = VirtualQueue::alloc(dev, n_shadows.max(1))?;
+
+    let init = vec![(1.0f32 / n as f32).to_bits(); n as usize];
+    now = dev.mem.copy_h2d(ranks, 0, &init, now);
+    now = dev.mem.copy_h2d(next_ranks, 0, &vec![0f32.to_bits(); n as usize], now);
+    now = queue.reset(dev, now);
+    dg.prefetch(dev, now);
+
+    let mut metrics = KernelMetrics::default();
+    let mut kernel_ns = 0u64;
+    let launch = |dev: &mut Device,
+                      kern: &dyn Kernel,
+                      items: u32,
+                      now: Ns,
+                      metrics: &mut KernelMetrics,
+                      kernel_ns: &mut u64|
+     -> Ns {
+        let r = dev.launch(kern, LaunchConfig::for_items(items, tpb), now);
+        metrics.merge(&r.metrics);
+        *kernel_ns += r.metrics.time_ns;
+        r.end_ns.max(r.metrics.data_ready_ns)
+    };
+
+    // Static UDC: all vertices cut once, the queue reused every iteration.
+    let udc = StaticUdcKernel {
+        n,
+        row_offsets: dg.row_offsets,
+        out: queue,
+        k: cfg.eta.k,
+    };
+    now = launch(dev, &udc, n, now, &mut metrics, &mut kernel_ns);
+    let (len, t) = queue.read_count(dev, now);
+    now = t;
+    debug_assert_eq!(len, n_shadows);
+
+    // Dangling mass is constant per iteration only if recomputed; track it
+    // host-side from the rank snapshot (observer arithmetic, the base-term
+    // scalar a real implementation computes with a tiny reduction kernel).
+    for _ in 0..cfg.iterations {
+        let rank_words = dev.mem.host_read(ranks, 0, n as u64);
+        let dangling: f32 = (0..n as usize)
+            .filter(|&v| csr.degree(v as u32) == 0)
+            .map(|v| f32::from_bits(rank_words[v]))
+            .sum();
+        let base = (1.0 - cfg.damping) / n as f32 + cfg.damping * dangling / n as f32;
+
+        let contrib_k = ContribKernel {
+            n,
+            row_offsets: dg.row_offsets,
+            ranks,
+            contrib,
+        };
+        now = launch(dev, &contrib_k, n, now, &mut metrics, &mut kernel_ns);
+
+        let scatter = ScatterKernel {
+            smp: cfg.eta.smp,
+            k: cfg.eta.k,
+            queue,
+            len,
+            col_idx: dg.col_idx,
+            contrib,
+            next_ranks,
+            threads_per_block: tpb,
+        };
+        now = launch(dev, &scatter, len, now, &mut metrics, &mut kernel_ns);
+
+        let apply = ApplyKernel {
+            n,
+            ranks,
+            next_ranks,
+            base,
+            damping: cfg.damping,
+        };
+        now = launch(dev, &apply, n, now, &mut metrics, &mut kernel_ns);
+    }
+
+    now = dev.mem.copy_d2h(ranks, n as u64, now);
+    let ranks_host: Vec<f32> = dev
+        .mem
+        .host_read(ranks, 0, n as u64)
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect();
+    Ok(PageRankResult {
+        ranks: ranks_host,
+        iterations: cfg.iterations,
+        kernel_ns,
+        total_ns: now,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_graph::generate::{rmat, RmatConfig};
+    use crate::config::TransferMode;
+    use eta_graph::reference;
+    use eta_sim::GpuConfig;
+
+    fn device() -> Device {
+        Device::new(GpuConfig::default_preset())
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x as f64 - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn pagerank_matches_f64_reference() {
+        let g = rmat(&RmatConfig::paper(10, 15_000, 31));
+        let cfg = PageRankConfig::default();
+        let mut dev = device();
+        let r = run(&mut dev, &g, &cfg).unwrap();
+        let expect = reference::pagerank(&g, 0.85, 20);
+        let err = max_abs_diff(&r.ranks, &expect);
+        assert!(err < 1e-5, "f32 GPU vs f64 host diverged: {err}");
+        let total: f32 = r.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "mass {total}");
+    }
+
+    #[test]
+    fn smp_does_not_change_ranks_but_cuts_transactions() {
+        let g = rmat(&RmatConfig::paper(12, 120_000, 8));
+        let mut with_cfg = PageRankConfig::default();
+        with_cfg.iterations = 5;
+        let mut without_cfg = with_cfg;
+        without_cfg.eta.smp = false;
+
+        let mut dev = device();
+        let with = run(&mut dev, &g, &with_cfg).unwrap();
+        let mut dev = device();
+        let without = run(&mut dev, &g, &without_cfg).unwrap();
+        let drift = with
+            .ranks
+            .iter()
+            .zip(&without.ranks)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(drift < 1e-6, "SMP changed ranks by {drift}");
+        assert!(
+            (with.metrics.l1_requests as f64) < 0.9 * without.metrics.l1_requests as f64,
+            "SMP applies to PageRank too: {} vs {}",
+            with.metrics.l1_requests,
+            without.metrics.l1_requests
+        );
+    }
+
+    #[test]
+    fn uniform_cycle_ranks_uniformly() {
+        let n = 64u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Csr::from_edges(n as usize, &edges);
+        let mut dev = device();
+        let r = run(&mut dev, &g, &PageRankConfig::default()).unwrap();
+        for &rank in &r.ranks {
+            assert!((rank - 1.0 / n as f32).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dangling_vertices_keep_mass_conserved() {
+        // Half the vertices have no out-edges.
+        let edges: Vec<(u32, u32)> = (0..32u32).map(|i| (i, 32 + i)).collect();
+        let g = Csr::from_edges(64, &edges);
+        let mut dev = device();
+        let r = run(&mut dev, &g, &PageRankConfig::default()).unwrap();
+        let total: f32 = r.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "mass {total}");
+        let expect = reference::pagerank(&g, 0.85, 20);
+        assert!(max_abs_diff(&r.ranks, &expect) < 1e-5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        let mut dev = device();
+        let r = run(&mut dev, &g, &PageRankConfig::default()).unwrap();
+        assert!(r.ranks.is_empty());
+    }
+
+    #[test]
+    fn unified_memory_modes_agree() {
+        let g = rmat(&RmatConfig::paper(9, 6_000, 3));
+        let mut results = Vec::new();
+        for transfer in [
+            TransferMode::UnifiedPrefetch,
+            TransferMode::Unified,
+            TransferMode::ExplicitCopy,
+        ] {
+            let mut cfg = PageRankConfig::default();
+            cfg.eta.transfer = transfer;
+            cfg.iterations = 8;
+            let mut dev = device();
+            results.push(run(&mut dev, &g, &cfg).unwrap().ranks);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Results of a traversal run: labels + the measurements every experiment
+//! consumes. Shared by EtaGraph and the baseline frameworks so Table III can
+//! compare them uniformly.
+
+use crate::config::Algorithm;
+use eta_mem::timeline::Timeline;
+use eta_mem::um::UmStats;
+use eta_mem::Ns;
+use eta_sim::KernelMetrics;
+
+/// Per-iteration measurements (Tables IV, Figs. 2/4/5).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// Vertices in the active set at the start of the iteration.
+    pub active: u32,
+    /// Shadow vertices of exactly degree K processed.
+    pub shadow_full: u32,
+    /// Shadow vertices of degree < K processed.
+    pub shadow_partial: u32,
+    /// Whether this iteration ran the pull-based (direction-optimizing)
+    /// kernel instead of push-based UDC traversal.
+    pub pulled: bool,
+    /// Cumulative vertices with a non-initial label after the iteration.
+    pub visited_total: u64,
+    pub start_ns: Ns,
+    pub end_ns: Ns,
+}
+
+/// Outcome of a full traversal on a device.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub algorithm: Algorithm,
+    pub labels: Vec<u32>,
+    pub iterations: u32,
+    /// Sum of kernel execution times (the paper's `t_kernel`).
+    pub kernel_ns: Ns,
+    /// End-to-end time including transfers (the paper's `t_total`).
+    pub total_ns: Ns,
+    pub per_iteration: Vec<IterationStats>,
+    /// Aggregated kernel counters across all launches.
+    pub metrics: KernelMetrics,
+    /// Unified Memory migration statistics (empty when UM is unused).
+    pub um_stats: UmStats,
+    /// Fraction of transfer time hidden under compute (Fig. 4).
+    pub overlap_fraction: f64,
+    /// The merged transfer+compute timeline of the run.
+    pub timeline: Timeline,
+}
+
+impl RunResult {
+    /// Vertices that ended with a non-initial label.
+    pub fn visited(&self) -> usize {
+        let init = self.algorithm.init_label();
+        self.labels.iter().filter(|&&l| l != init).count()
+    }
+
+    /// Activation percentage (Table IV's "Act. %").
+    pub fn activation_percent(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.visited() as f64 / self.labels.len() as f64
+    }
+
+    pub fn kernel_ms(&self) -> f64 {
+        self.kernel_ns as f64 / 1e6
+    }
+
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_counts_non_initial_labels() {
+        let r = RunResult {
+            algorithm: Algorithm::Bfs,
+            labels: vec![0, 1, u32::MAX, 2],
+            iterations: 3,
+            kernel_ns: 1_000_000,
+            total_ns: 2_000_000,
+            per_iteration: vec![],
+            metrics: KernelMetrics::default(),
+            um_stats: UmStats::default(),
+            overlap_fraction: 0.5,
+            timeline: Timeline::new(),
+        };
+        assert_eq!(r.visited(), 3);
+        assert!((r.activation_percent() - 75.0).abs() < 1e-9);
+        assert!((r.kernel_ms() - 1.0).abs() < 1e-12);
+        assert!((r.total_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sswp_visited_uses_zero_as_unvisited() {
+        let r = RunResult {
+            algorithm: Algorithm::Sswp,
+            labels: vec![u32::MAX, 5, 0, 0],
+            iterations: 1,
+            kernel_ns: 0,
+            total_ns: 0,
+            per_iteration: vec![],
+            metrics: KernelMetrics::default(),
+            um_stats: UmStats::default(),
+            overlap_fraction: 0.0,
+            timeline: Timeline::new(),
+        };
+        assert_eq!(r.visited(), 2);
+    }
+}

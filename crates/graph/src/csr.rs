@@ -1,0 +1,370 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! CSR is the paper's canonical format (Table I shows it is the most
+//! space-efficient of the candidates: `|E| + |V|` words for topology) and
+//! the input to EtaGraph's on-the-fly Unified Degree Cut. Vertex IDs, row
+//! offsets and edge weights are all `u32`, matching the 4-byte elements the
+//! GPU kernels access.
+
+use serde::Serialize;
+
+/// Label value for "not reached" (`∞`).
+pub const INF: u32 = u32::MAX;
+
+/// A directed graph in CSR form, optionally edge-weighted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `row_offsets[v]..row_offsets[v+1]` indexes `col_idx` for vertex `v`.
+    pub row_offsets: Vec<u32>,
+    /// Destination vertex of each edge.
+    pub col_idx: Vec<u32>,
+    /// Optional per-edge weight, parallel to `col_idx`.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let a = self.row_offsets[v as usize] as usize;
+        let b = self.row_offsets[v as usize + 1] as usize;
+        &self.col_idx[a..b]
+    }
+
+    /// Edge-weight slice of `v` (panics if unweighted).
+    #[inline]
+    pub fn edge_weights(&self, v: u32) -> &[u32] {
+        let a = self.row_offsets[v as usize] as usize;
+        let b = self.row_offsets[v as usize + 1] as usize;
+        &self.weights.as_ref().expect("graph is unweighted")[a..b]
+    }
+
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Topology bytes as stored on device: `(|V|+1) + |E|` words, plus `|E|`
+    /// weight words when weighted.
+    pub fn topology_bytes(&self) -> u64 {
+        let words = self.row_offsets.len() as u64
+            + self.col_idx.len() as u64
+            + self.weights.as_ref().map_or(0, |w| w.len() as u64);
+        words * 4
+    }
+
+    /// Builds from an edge list; edges are sorted and deduplicated
+    /// (the paper assumes graphs without duplicate edges).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        Self::from_weighted_edges_impl(n, edges, None)
+    }
+
+    /// Builds a weighted CSR; duplicate `(src, dst)` pairs keep the first
+    /// weight encountered after sorting.
+    pub fn from_weighted_edges(n: usize, edges: &[(u32, u32, u32)]) -> Csr {
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(s, d, _)| (s, d)).collect();
+        let weights: Vec<u32> = edges.iter().map(|&(_, _, w)| w).collect();
+        Self::from_weighted_edges_impl(n, &pairs, Some(&weights))
+    }
+
+    fn from_weighted_edges_impl(n: usize, edges: &[(u32, u32)], weights: Option<&[u32]>) -> Csr {
+        assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
+        for &(s, d) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "edge endpoint out of range");
+        }
+        // Sort edge indices by (src, dst) — in parallel, this dominates
+        // construction for multi-million-edge graphs — then dedup. The
+        // index tiebreak keeps duplicate selection (and therefore the
+        // surviving weight) deterministic across thread counts.
+        let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+        eta_par::par_sort_by_key(&mut order, |&i| (edges[i as usize], i));
+        order.dedup_by_key(|i| edges[*i as usize]);
+
+        let mut row_offsets = vec![0u32; n + 1];
+        for &i in &order {
+            row_offsets[edges[i as usize].0 as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_offsets[v + 1] += row_offsets[v];
+        }
+        let col_idx: Vec<u32> = order.iter().map(|&i| edges[i as usize].1).collect();
+        let out_weights =
+            weights.map(|w| order.iter().map(|&i| w[i as usize]).collect::<Vec<u32>>());
+        let csr = Csr {
+            row_offsets,
+            col_idx,
+            weights: out_weights,
+        };
+        debug_assert!(csr.validate().is_ok());
+        csr
+    }
+
+    /// Structural invariants: monotone offsets, in-range targets, weight
+    /// array parallel to edges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_offsets.is_empty() {
+            return Err("row_offsets must have at least one entry".into());
+        }
+        if self.row_offsets[0] != 0 {
+            return Err("row_offsets[0] must be 0".into());
+        }
+        if *self.row_offsets.last().unwrap() as usize != self.col_idx.len() {
+            return Err("last offset must equal edge count".into());
+        }
+        if self.row_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row_offsets must be non-decreasing".into());
+        }
+        let n = self.n() as u32;
+        if self.col_idx.iter().any(|&d| d >= n) {
+            return Err("edge target out of range".into());
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.col_idx.len() {
+                return Err("weights must parallel col_idx".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The transposed graph (CSC of this one / CSR of the reverse graph).
+    pub fn transpose(&self) -> Csr {
+        let n = self.n();
+        let mut row_offsets = vec![0u32; n + 1];
+        for &d in &self.col_idx {
+            row_offsets[d as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_offsets[v + 1] += row_offsets[v];
+        }
+        let mut cursor = row_offsets.clone();
+        let mut col_idx = vec![0u32; self.m()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0u32; self.m()]);
+        for s in 0..n as u32 {
+            let a = self.row_offsets[s as usize] as usize;
+            let b = self.row_offsets[s as usize + 1] as usize;
+            for e in a..b {
+                let d = self.col_idx[e] as usize;
+                let slot = cursor[d] as usize;
+                cursor[d] += 1;
+                col_idx[slot] = s;
+                if let (Some(out), Some(src)) = (&mut weights, &self.weights) {
+                    out[slot] = src[e];
+                }
+            }
+        }
+        Csr {
+            row_offsets,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// All edges as `(src, dst)` tuples in CSR order.
+    pub fn edge_tuples(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.m());
+        for v in 0..self.n() as u32 {
+            for &d in self.neighbors(v) {
+                out.push((v, d));
+            }
+        }
+        out
+    }
+
+    /// Attaches deterministic pseudo-random weights in `1..=max_weight`.
+    pub fn with_random_weights(mut self, seed: u64, max_weight: u32) -> Csr {
+        assert!(max_weight >= 1);
+        let mut w = Vec::with_capacity(self.m());
+        // SplitMix64 keyed by seed + edge index: deterministic and
+        // independent of generation order.
+        for e in 0..self.m() as u64 {
+            let mut z = seed.wrapping_add(e.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            w.push(1 + (z % max_weight as u64) as u32);
+        }
+        self.weights = Some(w);
+        self
+    }
+
+    /// Out-degree histogram up to `buckets` (last bucket aggregates the
+    /// tail); used to inspect skew.
+    pub fn degree_histogram(&self, buckets: usize) -> Vec<u64> {
+        let mut h = vec![0u64; buckets];
+        for v in 0..self.n() as u32 {
+            let d = self.degree(v) as usize;
+            h[d.min(buckets - 1)] += 1;
+        }
+        h
+    }
+}
+
+/// Summary statistics of a graph (Table II columns).
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphStats {
+    pub vertices: usize,
+    pub edges: usize,
+    pub avg_degree: f64,
+    pub max_degree: u32,
+    pub size_bytes: u64,
+}
+
+impl GraphStats {
+    pub fn of(csr: &Csr) -> GraphStats {
+        GraphStats {
+            vertices: csr.n(),
+            edges: csr.m(),
+            avg_degree: csr.avg_degree(),
+            max_degree: csr.max_degree(),
+            size_bytes: csr.topology_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_builds_expected_structure() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 1), (1, 2), (0, 1)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let g = Csr::from_edges(4, &[(2, 0), (0, 3), (0, 1), (2, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn weighted_edges_stay_parallel() {
+        let g = Csr::from_weighted_edges(3, &[(1, 2, 9), (0, 1, 5), (0, 2, 7)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_weights(0), &[5, 7]);
+        assert_eq!(g.edge_weights(1), &[9]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.m(), g.m());
+        // Transposing twice restores the original.
+        let tt = t.transpose();
+        assert_eq!(tt, g);
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let g = Csr::from_weighted_edges(3, &[(0, 2, 7), (1, 2, 9)]);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.edge_weights(2), &[7, 9]);
+    }
+
+    #[test]
+    fn topology_bytes_formula() {
+        let g = diamond();
+        assert_eq!(g.topology_bytes(), (5 + 4) * 4);
+        let w = diamond().with_random_weights(1, 64);
+        assert_eq!(w.topology_bytes(), (5 + 4 + 4) * 4);
+    }
+
+    #[test]
+    fn random_weights_in_range_and_deterministic() {
+        let a = diamond().with_random_weights(42, 10);
+        let b = diamond().with_random_weights(42, 10);
+        assert_eq!(a.weights, b.weights);
+        assert!(a.weights.unwrap().iter().all(|&w| (1..=10).contains(&w)));
+        let c = diamond().with_random_weights(43, 10);
+        assert_ne!(c.weights, b.weights, "different seed, different weights");
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut g = diamond();
+        g.col_idx[0] = 99;
+        assert!(g.validate().is_err());
+        let mut g2 = diamond();
+        g2.row_offsets[1] = 3;
+        g2.row_offsets[2] = 2;
+        assert!(g2.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_tuples_roundtrip() {
+        let g = diamond();
+        let edges = g.edge_tuples();
+        let g2 = Csr::from_edges(4, &edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn degree_histogram_shape() {
+        let g = diamond();
+        let h = g.degree_histogram(4);
+        assert_eq!(h, vec![1, 2, 1, 0]); // one deg-0, two deg-1, one deg-2
+    }
+}

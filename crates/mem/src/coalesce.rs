@@ -1,0 +1,101 @@
+//! Warp memory coalescing.
+//!
+//! NVIDIA GPUs service a warp's global-memory instruction as a set of
+//! 32-byte *sector* transactions: the 32 lane addresses are mapped to the
+//! sectors they fall in, duplicates are merged, and one transaction is issued
+//! per unique sector. A fully coalesced 4-byte load by 32 lanes therefore
+//! needs 4 sectors (128 B), while a fully scattered one needs 32.
+//!
+//! The paper's Fig. 7 measures exactly this effect: Shared Memory Prefetch
+//! roughly halves "global memory read transactions" because consecutive
+//! neighbor IDs of one vertex share sectors and the burst keeps them live.
+
+/// Size of one memory transaction (sector), in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Size of one device word, in bytes. All device payloads are `u32`.
+pub const WORD_BYTES: u64 = 4;
+
+/// Words per sector.
+pub const WORDS_PER_SECTOR: u64 = SECTOR_BYTES / WORD_BYTES;
+
+/// Maps a word address to its sector ID.
+#[inline]
+pub fn sector_of_word(word_addr: u64) -> u64 {
+    word_addr / WORDS_PER_SECTOR
+}
+
+/// Computes the unique sectors touched by a warp's lane word-addresses.
+///
+/// `addrs[i]` is lane `i`'s word address; lane `i` participates iff bit `i`
+/// of `mask` is set. The result is sorted and deduplicated; its length is the
+/// number of memory transactions the instruction issues.
+///
+/// `scratch` is reused between calls to avoid per-instruction allocation —
+/// this is the hottest function in the simulator.
+pub fn sectors_for_warp(addrs: &[u64], mask: u32, scratch: &mut Vec<u64>) {
+    scratch.clear();
+    for (lane, &a) in addrs.iter().enumerate() {
+        if lane < 32 && (mask >> lane) & 1 == 1 {
+            scratch.push(sector_of_word(a));
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sectors(addrs: &[u64], mask: u32) -> Vec<u64> {
+        let mut s = Vec::new();
+        sectors_for_warp(addrs, mask, &mut s);
+        s
+    }
+
+    #[test]
+    fn fully_coalesced_warp_needs_four_sectors() {
+        // 32 consecutive u32s = 128 bytes = 4 sectors.
+        let addrs: Vec<u64> = (0..32).collect();
+        assert_eq!(sectors(&addrs, u32::MAX).len(), 4);
+    }
+
+    #[test]
+    fn fully_scattered_warp_needs_32_sectors() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 1024).collect();
+        assert_eq!(sectors(&addrs, u32::MAX).len(), 32);
+    }
+
+    #[test]
+    fn broadcast_needs_one_sector() {
+        let addrs = vec![100u64; 32];
+        assert_eq!(sectors(&addrs, u32::MAX).len(), 1);
+    }
+
+    #[test]
+    fn mask_excludes_lanes() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 1024).collect();
+        assert_eq!(sectors(&addrs, 0b1).len(), 1);
+        assert_eq!(sectors(&addrs, 0b101).len(), 2);
+        assert!(sectors(&addrs, 0).is_empty());
+    }
+
+    #[test]
+    fn sector_boundaries_are_eight_words() {
+        assert_eq!(sector_of_word(0), 0);
+        assert_eq!(sector_of_word(7), 0);
+        assert_eq!(sector_of_word(8), 1);
+        assert_eq!(sector_of_word(15), 1);
+        assert_eq!(sector_of_word(16), 2);
+    }
+
+    #[test]
+    fn result_is_sorted_and_unique() {
+        let addrs: Vec<u64> = vec![80, 0, 80, 9, 8, 1, 200, 0];
+        let mut padded = addrs.clone();
+        padded.resize(32, 0);
+        let s = sectors(&padded, 0xFF);
+        assert_eq!(s, vec![0, 1, 10, 25]);
+    }
+}

@@ -1,0 +1,449 @@
+//! The device-visible memory system: one word-addressed address space with
+//! explicit, unified and zero-copy regions, plus the PCIe link and UM driver.
+//!
+//! Frameworks allocate through this facade; an explicit allocation that does
+//! not fit in device memory fails with [`MemError::Oom`], which is how the
+//! O.O.M entries of the paper's Table III are reproduced (each baseline's
+//! *actual* footprint is allocated, not estimated). Unified allocations are
+//! host-backed and never fail; their device residency is managed by
+//! [`crate::um::UmDriver`].
+
+use crate::pcie::PcieLink;
+use crate::timeline::SpanKind;
+use crate::um::{UmDriver, UmRegion, PAGE_WORDS};
+use crate::Ns;
+
+/// How a region behaves with respect to device residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// `cudaMalloc`-style: always resident, counts against capacity.
+    Explicit,
+    /// CUDA Unified Memory: host-backed, pages migrate on demand.
+    Unified { um_index: usize },
+    /// Pinned host memory mapped into the device: never resident, every
+    /// access crosses the interconnect.
+    ZeroCopy,
+}
+
+/// Identifies a region within a [`MemSystem`].
+pub type RegionId = usize;
+
+/// A typed (u32-element) device slice: the simulator's pointer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DSlice {
+    pub region: RegionId,
+    /// Global word offset of element 0.
+    pub word_off: u64,
+    /// Length in words.
+    pub len: u64,
+}
+
+impl DSlice {
+    /// Global word address of element `idx`.
+    ///
+    /// Always bounds-checked: a kernel indexing past its slice is a bug in
+    /// the kernel's capacity math, and silently writing into the neighboring
+    /// device allocation (what real out-of-bounds global accesses do) would
+    /// corrupt results with no diagnostic. The check is one compare on a
+    /// path that already does cache simulation per access.
+    #[inline]
+    pub fn addr(&self, idx: u64) -> u64 {
+        assert!(
+            idx < self.len,
+            "device slice index {idx} out of bounds (len {})",
+            self.len
+        );
+        self.word_off + idx
+    }
+
+    /// A sub-slice covering `start..start+len` elements.
+    pub fn slice(&self, start: u64, len: u64) -> DSlice {
+        assert!(start + len <= self.len, "sub-slice out of bounds");
+        DSlice {
+            region: self.region,
+            word_off: self.word_off + start,
+            len,
+        }
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.len * 4
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Device memory exhausted (the paper's "O.O.M").
+    Oom { requested_bytes: u64, free_bytes: u64 },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Oom {
+                requested_bytes,
+                free_bytes,
+            } => write!(
+                f,
+                "out of device memory: requested {requested_bytes} B, {free_bytes} B free"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug, Clone)]
+struct Region {
+    kind: RegionKind,
+    start_word: u64,
+    len_words: u64,
+}
+
+/// The device memory system.
+#[derive(Debug)]
+pub struct MemSystem {
+    /// Backing store for every region (host and device see the same values;
+    /// only *residency* is simulated).
+    words: Vec<u32>,
+    capacity_bytes: u64,
+    explicit_used: u64,
+    regions: Vec<Region>,
+    pub pcie: PcieLink,
+    pub um: UmDriver,
+    /// Bytes accessed through zero-copy regions (always cross the link).
+    pub zero_copy_bytes: u64,
+}
+
+impl MemSystem {
+    pub fn new(capacity_bytes: u64, pcie: PcieLink) -> Self {
+        MemSystem {
+            words: Vec::new(),
+            capacity_bytes,
+            explicit_used: 0,
+            regions: Vec::new(),
+            pcie,
+            um: UmDriver::new(),
+            zero_copy_bytes: 0,
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    pub fn explicit_used_bytes(&self) -> u64 {
+        self.explicit_used
+    }
+
+    /// Device bytes left for explicit allocations.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.explicit_used)
+    }
+
+    /// Device budget available to UM residency.
+    pub fn um_budget_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.explicit_used)
+    }
+
+    fn bump(&mut self, len_words: u64, align_words: u64) -> u64 {
+        let start = (self.words.len() as u64).div_ceil(align_words) * align_words;
+        self.words.resize((start + len_words) as usize, 0);
+        start
+    }
+
+    /// `cudaMalloc` analog: fails when the device is full.
+    pub fn alloc_explicit(&mut self, len_words: u64) -> Result<DSlice, MemError> {
+        let bytes = len_words * 4;
+        if self.explicit_used + bytes > self.capacity_bytes {
+            return Err(MemError::Oom {
+                requested_bytes: bytes,
+                free_bytes: self.free_bytes(),
+            });
+        }
+        self.explicit_used += bytes;
+        let start = self.bump(len_words, 8); // sector aligned
+        self.regions.push(Region {
+            kind: RegionKind::Explicit,
+            start_word: start,
+            len_words,
+        });
+        Ok(DSlice {
+            region: self.regions.len() - 1,
+            word_off: start,
+            len: len_words,
+        })
+    }
+
+    /// `cudaMallocManaged` analog: host-backed, page-aligned, never fails.
+    pub fn alloc_unified(&mut self, len_words: u64) -> DSlice {
+        let start = self.bump(len_words, PAGE_WORDS);
+        let um_index = self.um.add_region(UmRegion::new(start, len_words));
+        self.regions.push(Region {
+            kind: RegionKind::Unified { um_index },
+            start_word: start,
+            len_words,
+        });
+        DSlice {
+            region: self.regions.len() - 1,
+            word_off: start,
+            len: len_words,
+        }
+    }
+
+    /// Pinned zero-copy host allocation mapped into the device.
+    pub fn alloc_zero_copy(&mut self, len_words: u64) -> DSlice {
+        let start = self.bump(len_words, 8);
+        self.regions.push(Region {
+            kind: RegionKind::ZeroCopy,
+            start_word: start,
+            len_words,
+        });
+        DSlice {
+            region: self.regions.len() - 1,
+            word_off: start,
+            len: len_words,
+        }
+    }
+
+    pub fn region_kind(&self, id: RegionId) -> RegionKind {
+        self.regions[id].kind
+    }
+
+    /// Frees an explicit region's capacity (bump storage is not reclaimed —
+    /// experiments construct a fresh `MemSystem` per run).
+    pub fn free_explicit(&mut self, slice: DSlice) {
+        if let RegionKind::Explicit = self.regions[slice.region].kind {
+            self.explicit_used = self
+                .explicit_used
+                .saturating_sub(self.regions[slice.region].len_words * 4);
+        }
+    }
+
+    // ---- host-side data access (no timing) -------------------------------
+
+    /// Host write without transfer cost (dataset construction before timing).
+    pub fn host_write(&mut self, slice: DSlice, offset: u64, data: &[u32]) {
+        assert!(offset + data.len() as u64 <= slice.len, "host_write OOB");
+        let start = (slice.word_off + offset) as usize;
+        self.words[start..start + data.len()].copy_from_slice(data);
+    }
+
+    pub fn host_read(&self, slice: DSlice, offset: u64, len: u64) -> &[u32] {
+        assert!(offset + len <= slice.len, "host_read OOB");
+        let start = (slice.word_off + offset) as usize;
+        &self.words[start..start + len as usize]
+    }
+
+    /// Host fill (label initialization etc.), no transfer cost.
+    pub fn host_fill(&mut self, slice: DSlice, value: u32) {
+        let start = slice.word_off as usize;
+        self.words[start..start + slice.len as usize].fill(value);
+    }
+
+    // ---- timed transfers ---------------------------------------------------
+
+    /// Explicit host→device copy: writes the data and occupies the link.
+    pub fn copy_h2d(&mut self, slice: DSlice, offset: u64, data: &[u32], now: Ns) -> Ns {
+        self.host_write(slice, offset, data);
+        let (_, end) = self
+            .pcie
+            .transfer(SpanKind::CopyH2D, data.len() as u64 * 4, now);
+        end
+    }
+
+    /// Explicit device→host copy of `len` words (results readback).
+    pub fn copy_d2h(&mut self, _slice: DSlice, len: u64, now: Ns) -> Ns {
+        let (_, end) = self.pcie.transfer(SpanKind::CopyD2H, len * 4, now);
+        end
+    }
+
+    /// `cudaMemPrefetchAsync` analog for a unified region.
+    pub fn prefetch(&mut self, slice: DSlice, now: Ns) -> Ns {
+        match self.regions[slice.region].kind {
+            RegionKind::Unified { um_index } => {
+                let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
+                self.um.prefetch(um_index, now, budget, &mut self.pcie)
+            }
+            _ => now,
+        }
+    }
+
+    // ---- kernel access path ------------------------------------------------
+
+    /// Raw word load (functional value).
+    #[inline]
+    pub fn word(&self, addr: u64) -> u32 {
+        self.words[addr as usize]
+    }
+
+    /// Raw word store (functional value).
+    #[inline]
+    pub fn set_word(&mut self, addr: u64, value: u32) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Residency handling for a warp access: given the unique sectors the
+    /// coalescer produced for `region`, migrate any missing UM pages and
+    /// return the latest data-arrival time (`now` when all resident).
+    ///
+    /// Zero-copy accesses return `now` but count their traffic; the caller
+    /// charges per-sector link latency instead.
+    pub fn ensure_resident(&mut self, region: RegionId, sectors: &[u64], now: Ns) -> Ns {
+        match self.regions[region].kind {
+            RegionKind::Explicit => now,
+            RegionKind::ZeroCopy => {
+                self.zero_copy_bytes += sectors.len() as u64 * 32;
+                now
+            }
+            RegionKind::Unified { um_index } => {
+                let start_word = self.regions[region].start_word;
+                // sectors are sorted; map to sorted page indices.
+                let mut pages: Vec<usize> = sectors
+                    .iter()
+                    .map(|&s| ((s * 8).saturating_sub(start_word) / PAGE_WORDS) as usize)
+                    .collect();
+                pages.dedup();
+                let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
+                self.um
+                    .touch_pages(um_index, &pages, now, budget, &mut self.pcie)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::um::PAGE_BYTES;
+
+    fn system(capacity: u64) -> MemSystem {
+        MemSystem::new(capacity, PcieLink::new(12.0, 1_000))
+    }
+
+    #[test]
+    fn explicit_alloc_respects_capacity() {
+        let mut m = system(1024);
+        let a = m.alloc_explicit(128).expect("512 B fits in 1 KiB");
+        assert_eq!(a.len, 128);
+        assert_eq!(m.free_bytes(), 512);
+        let err = m.alloc_explicit(200).unwrap_err();
+        match err {
+            MemError::Oom {
+                requested_bytes,
+                free_bytes,
+            } => {
+                assert_eq!(requested_bytes, 800);
+                assert_eq!(free_bytes, 512);
+            }
+        }
+    }
+
+    #[test]
+    fn free_explicit_returns_capacity() {
+        let mut m = system(1024);
+        let a = m.alloc_explicit(256).unwrap();
+        assert_eq!(m.free_bytes(), 0);
+        m.free_explicit(a);
+        assert_eq!(m.free_bytes(), 1024);
+    }
+
+    #[test]
+    fn unified_alloc_never_fails() {
+        let mut m = system(64);
+        let big = m.alloc_unified(1_000_000);
+        assert_eq!(big.len, 1_000_000);
+        assert_eq!(big.word_off % PAGE_WORDS, 0, "page aligned");
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(16).unwrap();
+        m.host_write(a, 4, &[7, 8, 9]);
+        assert_eq!(m.host_read(a, 4, 3), &[7, 8, 9]);
+        assert_eq!(m.word(a.addr(5)), 8);
+        m.set_word(a.addr(5), 42);
+        assert_eq!(m.host_read(a, 5, 1), &[42]);
+    }
+
+    #[test]
+    fn copy_h2d_charges_the_link() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(1024).unwrap();
+        let end = m.copy_h2d(a, 0, &vec![1u32; 1024], 0);
+        assert!(end >= 1_000, "setup latency must be paid");
+        assert_eq!(m.pcie.bytes_moved(), 4096);
+        assert_eq!(m.host_read(a, 0, 1), &[1]);
+    }
+
+    #[test]
+    fn ensure_resident_faults_unified_pages_once() {
+        let mut m = system(1 << 24);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 8); // 8 pages
+        let sector0 = a.word_off / 8;
+        let t1 = m.ensure_resident(a.region, &[sector0], 0);
+        assert!(t1 > 0);
+        let t2 = m.ensure_resident(a.region, &[sector0], t1);
+        assert_eq!(t2, t1, "resident page returns its arrival time");
+    }
+
+    #[test]
+    fn explicit_regions_never_fault() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(1024).unwrap();
+        let t = m.ensure_resident(a.region, &[a.word_off / 8], 123);
+        assert_eq!(t, 123);
+        assert_eq!(m.um.stats.faults, 0);
+    }
+
+    #[test]
+    fn zero_copy_counts_traffic() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_zero_copy(1024);
+        m.ensure_resident(a.region, &[a.word_off / 8, a.word_off / 8 + 1], 0);
+        assert_eq!(m.zero_copy_bytes, 64);
+    }
+
+    #[test]
+    fn dslice_sub_slicing() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(100).unwrap();
+        let s = a.slice(10, 20);
+        assert_eq!(s.addr(0), a.addr(10));
+        assert_eq!(s.len, 20);
+        assert_eq!(s.bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-slice out of bounds")]
+    fn dslice_oob_slice_panics() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(10).unwrap();
+        let _ = a.slice(5, 6);
+    }
+
+    #[test]
+    fn prefetch_noop_on_explicit() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(64).unwrap();
+        assert_eq!(m.prefetch(a, 77), 77);
+    }
+
+    #[test]
+    fn prefetch_unified_makes_pages_resident() {
+        let mut m = system(1 << 24);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 100);
+        let end = m.prefetch(a, 0);
+        assert!(end > 0);
+        // Subsequent access should not fault.
+        let faults_before = m.um.stats.faults;
+        m.ensure_resident(a.region, &[a.word_off / 8 + 80], end);
+        assert_eq!(m.um.stats.faults, faults_before);
+    }
+}

@@ -1,0 +1,605 @@
+//! Unified Memory: page residency, demand migration, prefetch, eviction.
+//!
+//! Models the CUDA UM behaviour the paper leans on (§IV-B, Tables III/V,
+//! Fig. 4):
+//!
+//! * Allocations are host-backed and page-granular (4 KiB). A GPU access to a
+//!   non-resident page raises a fault; the driver migrates a *batch* of
+//!   contiguous faulting pages, rounded out to a fault-group granularity, so
+//!   observed migration sizes range from one page to ~1 MiB (Table V, "w/o
+//!   UMP" rows: avg ≈ 44 KB, min 4 KB, max ≈ 996 KB).
+//! * `prefetch` (the `cudaMemPrefetchAsync` analog) streams the allocation in
+//!   2 MiB chunks, which is why Table V's prefetch rows are almost all 2 MB.
+//! * When resident pages would exceed the device budget, least-recently-used
+//!   pages are evicted (*oversubscription*), letting traversal run on graphs
+//!   larger than device memory — the paper's uk-2006 case.
+
+use crate::pcie::PcieLink;
+use crate::timeline::SpanKind;
+use crate::Ns;
+use serde::Serialize;
+
+/// UM page size in bytes (x86 system page, as in the paper's Table V).
+pub const PAGE_BYTES: u64 = 4096;
+/// UM page size in device words.
+pub const PAGE_WORDS: u64 = PAGE_BYTES / 4;
+/// Base driver fault-group granularity: a demand batch is rounded out to
+/// this boundary over non-resident pages before migrating. When faults
+/// arrive densely (streaming access), the driver escalates the group size
+/// up to [`MAX_BATCH_BYTES`] — CUDA's density-tree heuristic — which is why
+/// the paper's Table V sees migrated sizes from one 4 KiB page up to
+/// ~1 MB with a ~44 KB average.
+pub const FAULT_GROUP_BYTES: u64 = 32 * 1024;
+/// Upper bound on one demand-migration batch.
+pub const MAX_BATCH_BYTES: u64 = 1024 * 1024;
+/// Prefetch streaming chunk (large-page granularity the driver promotes to).
+pub const PREFETCH_CHUNK_BYTES: u64 = 2 * 1024 * 1024;
+/// Driver-side service time per demand-migration batch (fault report, TLB
+/// shootdown, page-table update) — the cost `cudaMemPrefetchAsync` avoids,
+/// scaled with the rest of the interconnect constants.
+pub const FAULT_SERVICE_NS: Ns = 4_000;
+
+#[derive(Debug, Clone, Copy)]
+struct PageState {
+    resident: bool,
+    /// Link time at which the page's data is available on-device.
+    arrival: Ns,
+    /// LRU clock of the last GPU access.
+    last_access: u64,
+}
+
+/// Aggregate migration statistics (drives Table V).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct UmStats {
+    /// Size in bytes of every demand-migrated batch.
+    pub migration_batches: Vec<u64>,
+    /// Size in bytes of every prefetch chunk.
+    pub prefetch_chunks: Vec<u64>,
+    /// Number of GPU page faults (batches may serve several).
+    pub faults: u64,
+    /// Pages evicted under oversubscription.
+    pub evicted_pages: u64,
+    /// Total bytes demand-migrated.
+    pub migrated_bytes: u64,
+    /// Total bytes prefetched.
+    pub prefetched_bytes: u64,
+}
+
+impl UmStats {
+    pub fn batch_avg_bytes(&self) -> f64 {
+        if self.migration_batches.is_empty() {
+            0.0
+        } else {
+            self.migrated_bytes as f64 / self.migration_batches.len() as f64
+        }
+    }
+
+    pub fn batch_min_bytes(&self) -> u64 {
+        self.migration_batches.iter().copied().min().unwrap_or(0)
+    }
+
+    pub fn batch_max_bytes(&self) -> u64 {
+        self.migration_batches.iter().copied().max().unwrap_or(0)
+    }
+
+    /// All observed migration sizes (demand batches and prefetch chunks),
+    /// matching what the paper's Table V reports per configuration.
+    pub fn all_sizes(&self) -> Vec<u64> {
+        let mut v = self.migration_batches.clone();
+        v.extend_from_slice(&self.prefetch_chunks);
+        v
+    }
+}
+
+/// Residency bookkeeping for one unified allocation.
+#[derive(Debug, Clone)]
+pub struct UmRegion {
+    /// First device word of the allocation (page aligned).
+    pub start_word: u64,
+    /// Length in words.
+    pub len_words: u64,
+    pages: Vec<PageState>,
+    /// Last page the driver migrated (for the density heuristic).
+    last_batch_end: usize,
+    /// Consecutive near-adjacent fault batches observed.
+    streak: u32,
+}
+
+impl UmRegion {
+    pub fn new(start_word: u64, len_words: u64) -> Self {
+        debug_assert_eq!(start_word % PAGE_WORDS, 0, "UM regions are page aligned");
+        let n_pages = len_words.div_ceil(PAGE_WORDS) as usize;
+        UmRegion {
+            start_word,
+            len_words,
+            pages: vec![
+                PageState {
+                    resident: false,
+                    arrival: 0,
+                    last_access: 0,
+                };
+                n_pages
+            ],
+            last_batch_end: usize::MAX,
+            streak: 0,
+        }
+    }
+
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.resident).count()
+    }
+
+    /// Page index containing a global word address.
+    pub fn page_of_word(&self, word_addr: u64) -> usize {
+        debug_assert!(word_addr >= self.start_word);
+        ((word_addr - self.start_word) / PAGE_WORDS) as usize
+    }
+
+    fn bytes_of_page(&self, page: usize) -> u64 {
+        let start_w = page as u64 * PAGE_WORDS;
+        let end_w = (start_w + PAGE_WORDS).min(self.len_words);
+        (end_w - start_w) * 4
+    }
+}
+
+/// The Unified Memory driver state shared by all UM regions of a device.
+#[derive(Debug, Clone)]
+pub struct UmDriver {
+    regions: Vec<UmRegion>,
+    /// LRU clock; bumped on every GPU access batch.
+    clock: u64,
+    resident_bytes: u64,
+    pub stats: UmStats,
+}
+
+impl Default for UmDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UmDriver {
+    pub fn new() -> Self {
+        UmDriver {
+            regions: Vec::new(),
+            clock: 0,
+            resident_bytes: 0,
+            stats: UmStats::default(),
+        }
+    }
+
+    pub fn add_region(&mut self, region: UmRegion) -> usize {
+        self.regions.push(region);
+        self.regions.len() - 1
+    }
+
+    pub fn region(&self, idx: usize) -> &UmRegion {
+        &self.regions[idx]
+    }
+
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Host-side access after kernels complete: residency is irrelevant.
+    pub fn reset_stats(&mut self) {
+        self.stats = UmStats::default();
+    }
+
+    /// Ensures the given pages of `region` are resident, migrating on demand.
+    ///
+    /// `pages` must be sorted (the coalescer emits sorted sectors, so this is
+    /// free for callers). Returns the latest arrival time among the touched
+    /// pages — `now` if everything was already on-device — which the caller
+    /// charges as transfer wait.
+    ///
+    /// `budget_bytes` is the device memory available to UM (capacity minus
+    /// explicit allocations); exceeding it triggers LRU eviction.
+    pub fn touch_pages(
+        &mut self,
+        region_idx: usize,
+        pages: &[usize],
+        now: Ns,
+        budget_bytes: u64,
+        link: &mut PcieLink,
+    ) -> Ns {
+        self.clock += 1;
+        let mut latest = now;
+
+        // Mark accesses and collect the non-resident pages (sorted, unique).
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let region = &mut self.regions[region_idx];
+            let mut prev = usize::MAX;
+            for &p in pages {
+                if p == prev {
+                    continue;
+                }
+                prev = p;
+                let st = &mut region.pages[p];
+                st.last_access = self.clock;
+                if st.resident {
+                    latest = latest.max(st.arrival);
+                } else {
+                    missing.push(p);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return latest;
+        }
+        self.stats.faults += missing.len() as u64;
+
+        // Group contiguous missing pages, round each group out to the fault
+        // granularity over non-resident neighbours, cap at MAX_BATCH_BYTES.
+        let batches = self.plan_batches(region_idx, &missing);
+        for (first, last) in batches {
+            // Only non-resident pages move; planning guarantees this, but
+            // recompute defensively so accounting can never drift.
+            let bytes: u64 = (first..=last)
+                .filter(|&p| !self.regions[region_idx].pages[p].resident)
+                .map(|p| self.regions[region_idx].bytes_of_page(p))
+                .sum();
+            if bytes == 0 {
+                continue;
+            }
+            self.make_room(region_idx, first, last, bytes, budget_bytes, now, link);
+            let (_, end) =
+                link.transfer_with_setup(SpanKind::Migration, bytes, now, FAULT_SERVICE_NS);
+            let region = &mut self.regions[region_idx];
+            for p in first..=last {
+                let st = &mut region.pages[p];
+                if st.resident {
+                    continue;
+                }
+                st.resident = true;
+                st.arrival = end;
+                st.last_access = self.clock;
+            }
+            self.resident_bytes += bytes;
+            self.stats.migration_batches.push(bytes);
+            self.stats.migrated_bytes += bytes;
+            latest = latest.max(end);
+        }
+        latest
+    }
+
+    /// Groups sorted missing pages into `(first, last)` inclusive batches,
+    /// applying the density heuristic: each batch near the previous one
+    /// doubles the speculative group size, up to [`MAX_BATCH_BYTES`].
+    fn plan_batches(&mut self, region_idx: usize, missing: &[usize]) -> Vec<(usize, usize)> {
+        let region = &mut self.regions[region_idx];
+        let base_group = (FAULT_GROUP_BYTES / PAGE_BYTES) as usize;
+        let max_pages = (MAX_BATCH_BYTES / PAGE_BYTES) as usize;
+        let n_pages = region.pages.len();
+
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for &p in missing {
+            if let Some(&(first, last)) = out.last() {
+                if p <= last {
+                    continue; // already covered by the previous rounded batch
+                }
+                if p == last + 1 && (p - first) < max_pages {
+                    out.last_mut().expect("just checked").1 = p;
+                    continue;
+                }
+            }
+            // Density escalation: only faults landing immediately after the
+            // previous batch (a streaming sweep) grow the speculative group
+            // (16 KiB -> ... -> 1 MiB); anything scattered resets it.
+            let near = region.last_batch_end != usize::MAX
+                && p > region.last_batch_end
+                && p - region.last_batch_end <= base_group;
+            region.streak = if near { (region.streak + 1).min(6) } else { 0 };
+            let group_pages = (base_group << region.streak).min(max_pages);
+
+            // Start the batch at the group boundary, but never cover
+            // already-resident pages (the driver only moves missing ones)
+            // nor pages already claimed by the previous batch.
+            let mut first = p - (p % group_pages);
+            if let Some(&(_, prev_last)) = out.last() {
+                first = first.max(prev_last + 1);
+            }
+            while first < p && region.pages[first].resident {
+                first += 1;
+            }
+            // Round the tail out to the end of the group as long as the
+            // pages there are also missing (speculative migration).
+            let group_end = ((p / group_pages) + 1) * group_pages;
+            let mut last = p;
+            while last + 1 < n_pages.min(group_end) && !region.pages[last + 1].resident {
+                last += 1;
+            }
+            region.last_batch_end = last;
+            out.push((first, last));
+        }
+        out
+    }
+
+    /// Evicts LRU pages (not in `keep_first..=keep_last` of `region_idx`)
+    /// until `incoming_bytes` fits in the budget.
+    #[allow(clippy::too_many_arguments)]
+    fn make_room(
+        &mut self,
+        region_idx: usize,
+        keep_first: usize,
+        keep_last: usize,
+        incoming_bytes: u64,
+        budget_bytes: u64,
+        now: Ns,
+        link: &mut PcieLink,
+    ) {
+        if self.resident_bytes + incoming_bytes <= budget_bytes {
+            return;
+        }
+        let mut to_free = (self.resident_bytes + incoming_bytes).saturating_sub(budget_bytes);
+        let mut evicted_bytes = 0u64;
+        // One scan collects every evictable page; sorting by last access then
+        // gives LRU order without rescanning per victim (heavy
+        // oversubscription evicts thousands of pages per call).
+        let mut candidates: Vec<(u64, usize, usize)> = Vec::new();
+        for (ri, region) in self.regions.iter().enumerate() {
+            for (pi, st) in region.pages.iter().enumerate() {
+                if !st.resident {
+                    continue;
+                }
+                if ri == region_idx && (keep_first..=keep_last).contains(&pi) {
+                    continue;
+                }
+                candidates.push((st.last_access, ri, pi));
+            }
+        }
+        candidates.sort_unstable();
+        for (_, ri, pi) in candidates {
+            if to_free == 0 {
+                break;
+            }
+            let bytes = self.regions[ri].bytes_of_page(pi);
+            self.regions[ri].pages[pi].resident = false;
+            self.resident_bytes -= bytes;
+            self.stats.evicted_pages += 1;
+            evicted_bytes += bytes;
+            to_free = to_free.saturating_sub(bytes);
+        }
+        // If the candidate list ran out first, the budget is simply exceeded.
+        if evicted_bytes > 0 {
+            // Topology pages are clean on the GPU (graph data is read-only
+            // during traversal), so eviction is a cheap unmap, but we still
+            // record the event on the timeline for Fig. 4 style accounting.
+            link.transfer(SpanKind::Eviction, evicted_bytes / 64, now);
+        }
+    }
+
+    /// Streams the whole region to the device in 2 MiB chunks
+    /// (`cudaMemPrefetchAsync`). Returns the completion time of the last
+    /// chunk. Pages become individually available as their chunk lands, so
+    /// compute can start before the prefetch finishes.
+    pub fn prefetch(
+        &mut self,
+        region_idx: usize,
+        now: Ns,
+        budget_bytes: u64,
+        link: &mut PcieLink,
+    ) -> Ns {
+        let n_pages = self.regions[region_idx].n_pages();
+        let chunk_pages = (PREFETCH_CHUNK_BYTES / PAGE_BYTES) as usize;
+        let mut end = now;
+        let mut p = 0usize;
+        while p < n_pages {
+            let last = (p + chunk_pages - 1).min(n_pages - 1);
+            // Skip already-resident prefix/suffix inside the chunk.
+            let bytes: u64 = (p..=last)
+                .filter(|&q| !self.regions[region_idx].pages[q].resident)
+                .map(|q| self.regions[region_idx].bytes_of_page(q))
+                .sum();
+            if bytes > 0 {
+                self.make_room(region_idx, p, last, bytes, budget_bytes, now, link);
+                let (_, chunk_end) = link.transfer(SpanKind::Prefetch, bytes, now);
+                let region = &mut self.regions[region_idx];
+                for q in p..=last {
+                    let st = &mut region.pages[q];
+                    if !st.resident {
+                        st.resident = true;
+                        st.arrival = chunk_end;
+                    }
+                }
+                self.resident_bytes += bytes;
+                self.stats.prefetch_chunks.push(bytes);
+                self.stats.prefetched_bytes += bytes;
+                end = end.max(chunk_end);
+            }
+            p = last + 1;
+        }
+        end
+    }
+
+    /// Drops all residency (new experiment on the same data).
+    pub fn invalidate_all(&mut self) {
+        for region in &mut self.regions {
+            for st in &mut region.pages {
+                st.resident = false;
+                st.arrival = 0;
+                st.last_access = 0;
+            }
+            region.last_batch_end = usize::MAX;
+            region.streak = 0;
+        }
+        self.resident_bytes = 0;
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver_with_region(pages: u64) -> (UmDriver, usize) {
+        let mut d = UmDriver::new();
+        let idx = d.add_region(UmRegion::new(0, pages * PAGE_WORDS));
+        (d, idx)
+    }
+
+    fn link() -> PcieLink {
+        PcieLink::new(12.0, 5_000)
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let (mut d, r) = driver_with_region(64);
+        let mut l = link();
+        let t1 = d.touch_pages(r, &[3], 0, u64::MAX, &mut l);
+        assert!(t1 > 0, "fault must cost transfer time");
+        assert_eq!(d.stats.faults, 1);
+        let batches = d.stats.migration_batches.len();
+        // Second touch of the same page: resident, no new batch.
+        let t2 = d.touch_pages(r, &[3], t1, u64::MAX, &mut l);
+        assert_eq!(t2, t1);
+        assert_eq!(d.stats.migration_batches.len(), batches);
+    }
+
+    #[test]
+    fn fault_group_rounds_out_batches() {
+        let (mut d, r) = driver_with_region(64);
+        let mut l = link();
+        d.touch_pages(r, &[0], 0, u64::MAX, &mut l);
+        // One cold fault migrates the base fault group.
+        assert_eq!(d.stats.migration_batches, vec![FAULT_GROUP_BYTES]);
+        assert_eq!(
+            d.region(r).resident_pages() as u64,
+            FAULT_GROUP_BYTES / PAGE_BYTES
+        );
+    }
+
+    #[test]
+    fn dense_faults_escalate_group_size() {
+        let (mut d, r) = driver_with_region(2048); // 8 MiB region
+        let mut l = link();
+        // Stream faults through the region page by page, as a dense sweep
+        // would: the driver must escalate batch sizes toward the 1 MiB cap.
+        let mut p = 0usize;
+        while p < 2048 {
+            d.touch_pages(r, &[p], 0, u64::MAX, &mut l);
+            // jump to the first page past everything resident
+            while p < 2048 && d.region(r).resident_pages() > 0 && {
+                // advance p to the next non-resident page
+                let resident = d.region(r).resident_pages();
+                resident > p
+            } {
+                p += 1;
+            }
+            p = d.region(r).resident_pages();
+        }
+        let max = d.stats.batch_max_bytes();
+        let min = d.stats.batch_min_bytes();
+        assert_eq!(max, MAX_BATCH_BYTES, "dense faulting reaches the 1 MiB cap");
+        assert_eq!(min, FAULT_GROUP_BYTES, "the first cold batch stays small");
+    }
+
+    #[test]
+    fn sparse_faults_stay_small() {
+        let (mut d, r) = driver_with_region(4096);
+        let mut l = link();
+        // Far-apart faults never escalate.
+        for p in [0usize, 1000, 2000, 3000] {
+            d.touch_pages(r, &[p], 0, u64::MAX, &mut l);
+        }
+        assert!(d.stats.batch_max_bytes() <= 2 * FAULT_GROUP_BYTES);
+    }
+
+    #[test]
+    fn isolated_fault_at_region_tail_migrates_one_page() {
+        // A region of 17 pages: the second fault group holds a single page,
+        // so faulting it moves exactly 4 KiB (Table V min column).
+        let (mut d, r) = driver_with_region(17);
+        let mut l = link();
+        d.touch_pages(r, &[16], 0, u64::MAX, &mut l);
+        assert_eq!(
+            d.stats.migration_batches,
+            vec![PAGE_BYTES],
+            "min migrated size is one 4 KiB page"
+        );
+    }
+
+    #[test]
+    fn refault_of_evicted_page_can_migrate_alone() {
+        let (mut d, r) = driver_with_region(16);
+        let mut l = link();
+        d.touch_pages(r, &[0], 0, u64::MAX, &mut l); // whole group resident
+        // Evict exactly page 3 by hand via invalidate + selective re-touch is
+        // impossible through the public API, so emulate the state: touch a
+        // fresh driver where only page 3 is missing.
+        d.invalidate_all();
+        d.touch_pages(r, &[0], 0, u64::MAX, &mut l); // group resident again
+        // Now all 16 pages are resident; nothing to migrate.
+        d.stats.migration_batches.clear();
+        d.touch_pages(r, &[3], 0, u64::MAX, &mut l);
+        assert!(d.stats.migration_batches.is_empty());
+    }
+
+    #[test]
+    fn prefetch_uses_two_mb_chunks() {
+        let pages = 3 * 512 + 100; // 3 full chunks + a tail
+        let (mut d, r) = driver_with_region(pages as u64);
+        let mut l = link();
+        let end = d.prefetch(r, 0, u64::MAX, &mut l);
+        assert!(end > 0);
+        assert_eq!(d.stats.prefetch_chunks.len(), 4);
+        assert_eq!(d.stats.prefetch_chunks[0], PREFETCH_CHUNK_BYTES);
+        assert_eq!(d.stats.prefetch_chunks[3], 100 * PAGE_BYTES);
+        assert_eq!(d.region(r).resident_pages(), pages);
+    }
+
+    #[test]
+    fn oversubscription_evicts_lru() {
+        let (mut d, r) = driver_with_region(32);
+        let mut l = link();
+        let budget = 16 * PAGE_BYTES;
+        // Touch pages one by one with the group heuristic disabled by
+        // touching non-aligned isolated pages far apart.
+        for p in (0..32).step_by(1) {
+            d.touch_pages(r, &[p], 0, budget, &mut l);
+        }
+        assert!(d.resident_bytes() <= budget, "budget must be respected");
+        assert!(d.stats.evicted_pages > 0, "eviction must have happened");
+        // The protected (most recent) page is still resident.
+        assert!(d.region(r).resident_pages() >= 1);
+    }
+
+    #[test]
+    fn touch_after_eviction_refaults() {
+        let (mut d, r) = driver_with_region(64);
+        let mut l = link();
+        let budget = FAULT_GROUP_BYTES; // one fault group fits
+        d.touch_pages(r, &[0], 0, budget, &mut l);
+        d.touch_pages(r, &[20], 0, budget, &mut l); // evicts the first group
+        let before = d.stats.migration_batches.len();
+        d.touch_pages(r, &[0], 0, budget, &mut l);
+        assert!(d.stats.migration_batches.len() > before);
+    }
+
+    #[test]
+    fn stats_summaries() {
+        let (mut d, r) = driver_with_region(512);
+        let mut l = link();
+        d.touch_pages(r, &[0], 0, u64::MAX, &mut l);
+        d.touch_pages(r, &[400], 0, u64::MAX, &mut l);
+        assert_eq!(d.stats.batch_min_bytes(), FAULT_GROUP_BYTES);
+        assert!(d.stats.batch_avg_bytes() > 0.0);
+        assert!(d.stats.batch_max_bytes() <= MAX_BATCH_BYTES);
+    }
+
+    #[test]
+    fn prefetch_respects_budget_via_eviction() {
+        let pages = 1024u64; // 4 MiB region
+        let (mut d, r) = driver_with_region(pages);
+        let mut l = link();
+        let budget = 2 * 1024 * 1024; // half fits
+        d.prefetch(r, 0, budget, &mut l);
+        assert!(d.resident_bytes() <= budget);
+        assert!(d.stats.evicted_pages > 0);
+    }
+}

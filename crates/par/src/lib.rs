@@ -1,0 +1,296 @@
+//! `eta-par` — a minimal, dependency-light data-parallel substrate.
+//!
+//! The EtaGraph reproduction needs a small slice of what `rayon` offers:
+//! chunked parallel-for over index ranges and slices, and deterministic
+//! map-reduce. Rather than pull in a work-stealing scheduler, we build that
+//! slice on `crossbeam::scope`, which is plenty for the regular, statically
+//! partitionable loops that dominate graph generation, analysis and the CPU
+//! reference algorithms.
+//!
+//! Design points:
+//!
+//! * **Static chunking.** Work is split into `num_threads` contiguous chunks.
+//!   All our loops are dense index ranges with near-uniform per-element cost
+//!   (edge generation, label init, histogram builds), so static partitioning
+//!   is within a few percent of a work-stealing schedule and keeps the
+//!   implementation obviously correct.
+//! * **Deterministic reduction.** [`map_reduce`] always folds per-thread
+//!   partials in thread-index order, so floating-point and other
+//!   non-commutative reductions are reproducible run to run.
+//! * **Small-input fast path.** Inputs below [`PAR_THRESHOLD`] run inline on
+//!   the calling thread; spawning threads for tiny loops costs more than it
+//!   saves.
+
+pub mod sort;
+
+pub use sort::par_sort_by_key;
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs smaller than this run sequentially on the calling thread.
+pub const PAR_THRESHOLD: usize = 4096;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the number of worker threads used by this module.
+///
+/// `0` restores the default (the machine's available parallelism). Intended
+/// for tests and benchmarks that want single-threaded determinism checks.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `parts` contiguous `(start, end)` chunks.
+///
+/// Every chunk is non-empty and the chunks exactly cover `0..len` in order.
+pub fn chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < rem);
+        out.push((start, start + sz));
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Runs `body(start, end)` over disjoint chunks of `0..len` in parallel.
+///
+/// `body` must be safe to run concurrently on disjoint ranges; the usual
+/// pattern is to capture only shared immutable state plus atomics.
+pub fn for_each_chunk<F>(len: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = current_threads();
+    if len < PAR_THRESHOLD || threads <= 1 {
+        if len > 0 {
+            body(0, len);
+        }
+        return;
+    }
+    let parts = chunks(len, threads);
+    crossbeam::scope(|s| {
+        for &(a, b) in &parts {
+            let body = &body;
+            s.spawn(move |_| body(a, b));
+        }
+    })
+    .expect("eta-par worker panicked");
+}
+
+/// Parallel in-place transform of a mutable slice, chunk by chunk.
+pub fn for_each_mut<T, F>(data: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = data.len();
+    let threads = current_threads();
+    if len < PAR_THRESHOLD || threads <= 1 {
+        for (i, item) in data.iter_mut().enumerate() {
+            body(i, item);
+        }
+        return;
+    }
+    let parts = chunks(len, threads);
+    // Split the slice into the exact chunk boundaries so each worker owns a
+    // disjoint &mut region.
+    let mut rest = data;
+    let mut slices = Vec::with_capacity(parts.len());
+    let mut consumed = 0;
+    for &(a, b) in &parts {
+        let (head, tail) = rest.split_at_mut(b - a);
+        slices.push((consumed, head));
+        rest = tail;
+        consumed = b;
+    }
+    crossbeam::scope(|s| {
+        for (offset, chunk) in slices {
+            let body = &body;
+            s.spawn(move |_| {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    body(offset + i, item);
+                }
+            });
+        }
+    })
+    .expect("eta-par worker panicked");
+}
+
+/// Parallel map-reduce over `0..len` with a deterministic fold order.
+///
+/// Each worker folds its chunk with `fold` starting from `identity()`; the
+/// per-thread partials are then combined with `combine` in chunk order, so
+/// the result is independent of thread scheduling.
+pub fn map_reduce<T, I, F, C>(len: usize, identity: I, fold: F, combine: C) -> T
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = current_threads();
+    if len < PAR_THRESHOLD || threads <= 1 {
+        let mut acc = identity();
+        for i in 0..len {
+            acc = fold(acc, i);
+        }
+        return acc;
+    }
+    let parts = chunks(len, threads);
+    let partials: Vec<T> = crossbeam::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(a, b)| {
+                let identity = &identity;
+                let fold = &fold;
+                s.spawn(move |_| {
+                    let mut acc = identity();
+                    for i in a..b {
+                        acc = fold(acc, i);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eta-par worker panicked"))
+            .collect()
+    })
+    .expect("eta-par scope failed");
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("chunks() never returns empty for len>0");
+    iter.fold(first, combine)
+}
+
+/// Convenience: parallel generation of a `Vec<T>` where element `i` is
+/// `gen(i)`.
+pub fn build_vec<T, G>(len: usize, generate: G) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    G: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    for_each_mut(&mut out, |i, slot| *slot = generate(i));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for len in [0usize, 1, 7, 100, 4097] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let cs = chunks(len, parts);
+                if len == 0 {
+                    assert!(cs.is_empty());
+                    continue;
+                }
+                assert_eq!(cs[0].0, 0);
+                assert_eq!(cs.last().unwrap().1, len);
+                for w in cs.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                    assert!(w[0].0 < w[0].1);
+                }
+                assert!(cs.len() <= parts.min(len));
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_visits_everything_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        for_each_chunk(n, |a, b| {
+            for i in a..b {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential() {
+        let n = 9001;
+        let mut par = vec![0u64; n];
+        for_each_mut(&mut par, |i, v| *v = (i as u64) * 3 + 1);
+        let seq: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_reduce_sums_correctly() {
+        let n = 50_000usize;
+        let total = map_reduce(n, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn map_reduce_is_deterministic_for_order_sensitive_combine() {
+        // Fold partials into a Vec — result must always be in chunk order.
+        let n = 20_000usize;
+        let a = map_reduce(
+            n,
+            Vec::new,
+            |mut acc: Vec<usize>, i| {
+                if i % 5000 == 0 {
+                    acc.push(i);
+                }
+                acc
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(a, vec![0, 5000, 10000, 15000]);
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Must not deadlock or spawn for trivial sizes.
+        let mut v = vec![0u8; 16];
+        for_each_mut(&mut v, |i, x| *x = i as u8);
+        assert_eq!(v[15], 15);
+        let s = map_reduce(10, || 0usize, |a, i| a + i, |a, b| a + b);
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn build_vec_matches_generator() {
+        let v = build_vec(8192, |i| i as u32 ^ 0xdead);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 ^ 0xdead));
+    }
+}

@@ -1,0 +1,62 @@
+//! The kernel abstraction: what frameworks implement to run on the device.
+
+use crate::warp::WarpCtx;
+
+/// Grid dimensions of a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub blocks: u32,
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// One thread per item with the given block size.
+    pub fn for_items(n_items: u32, threads_per_block: u32) -> Self {
+        LaunchConfig {
+            blocks: n_items.div_ceil(threads_per_block.max(1)),
+            threads_per_block,
+        }
+    }
+
+    pub fn total_threads(&self) -> u64 {
+        self.blocks as u64 * self.threads_per_block as u64
+    }
+}
+
+/// A GPU kernel: invoked once per warp with a [`WarpCtx`].
+///
+/// Kernels must be warp-shaped: per-lane state lives in `[u32; 32]` register
+/// arrays and control flow runs to the maximum trip count of the warp with
+/// inactive lanes masked — divergence costs instructions, exactly as SIMT
+/// hardware charges it.
+pub trait Kernel {
+    /// Name for profiling output.
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    /// Shared-memory words this kernel needs per thread block. Affects
+    /// occupancy (blocks per SM) and therefore latency hiding.
+    fn shared_words_per_block(&self, _threads_per_block: u32) -> u64 {
+        0
+    }
+
+    /// Executes one warp.
+    fn run(&self, w: &mut WarpCtx<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_config_for_items_rounds_up() {
+        let c = LaunchConfig::for_items(1000, 256);
+        assert_eq!(c.blocks, 4);
+        assert_eq!(c.total_threads(), 1024);
+        let exact = LaunchConfig::for_items(512, 256);
+        assert_eq!(exact.blocks, 2);
+        let zero = LaunchConfig::for_items(0, 256);
+        assert_eq!(zero.blocks, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Kernel execution metrics — the simulator's `nvprof`.
+//!
+//! Fig. 7 of the paper compares IPC, unified (L1+texture) cache hit rate, L2
+//! hit rate, read throughputs and global memory transactions with and
+//! without Shared Memory Prefetch. Every one of those is a ratio of counters
+//! collected here.
+
+use eta_mem::cache::CacheStats;
+use eta_mem::Ns;
+use serde::Serialize;
+
+/// Counters for one kernel launch (or an accumulation of launches).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct KernelMetrics {
+    /// Warp instructions issued (memory + ALU + atomics).
+    pub instructions: u64,
+    /// Modelled kernel duration in core cycles.
+    pub cycles: u64,
+    /// Modelled kernel duration in nanoseconds.
+    pub time_ns: Ns,
+    /// Sector requests reaching L1 (nvprof "unified cache" requests).
+    pub l1_requests: u64,
+    /// L1 hits / misses.
+    #[serde(skip)]
+    pub l1: CacheStats,
+    /// Sector requests reaching L2.
+    pub l2_requests: u64,
+    /// L2 hits / misses.
+    #[serde(skip)]
+    pub l2: CacheStats,
+    /// Read sectors serviced by DRAM — nvprof's "global memory read
+    /// transactions", the Fig. 7 metric.
+    pub dram_transactions: u64,
+    /// Write/atomic sectors that missed L2 and hit DRAM.
+    pub dram_write_transactions: u64,
+    /// Bytes moved from DRAM.
+    pub dram_bytes: u64,
+    /// Shared-memory instructions executed.
+    pub shared_accesses: u64,
+    /// Atomic operations executed (lane-level).
+    pub atomics: u64,
+    /// Raw (un-hidden) memory stall cycles accumulated by warps.
+    pub mem_stall_cycles: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// Resident warps per SM assumed by the latency-hiding model.
+    pub occupancy_warps: u64,
+    /// Latest data-arrival time among UM pages this kernel had to wait for.
+    pub data_ready_ns: Ns,
+}
+
+impl KernelMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Unified (L1) cache hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        self.l1.hit_rate()
+    }
+
+    /// L2 cache hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    /// L1 read throughput in GB/s (sectors served per unit time).
+    pub fn l1_throughput_gb_s(&self) -> f64 {
+        throughput(self.l1_requests * 32, self.time_ns)
+    }
+
+    /// L2 read throughput in GB/s.
+    pub fn l2_throughput_gb_s(&self) -> f64 {
+        throughput(self.l2_requests * 32, self.time_ns)
+    }
+
+    /// DRAM read throughput in GB/s.
+    pub fn dram_throughput_gb_s(&self) -> f64 {
+        throughput(self.dram_bytes, self.time_ns)
+    }
+
+    /// Accumulates another launch into this one (iteration totals).
+    pub fn merge(&mut self, other: &KernelMetrics) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.time_ns += other.time_ns;
+        self.l1_requests += other.l1_requests;
+        self.l1.merge(&other.l1);
+        self.l2_requests += other.l2_requests;
+        self.l2.merge(&other.l2);
+        self.dram_transactions += other.dram_transactions;
+        self.dram_write_transactions += other.dram_write_transactions;
+        self.dram_bytes += other.dram_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.atomics += other.atomics;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.warps += other.warps;
+        self.occupancy_warps = self.occupancy_warps.max(other.occupancy_warps);
+        self.data_ready_ns = self.data_ready_ns.max(other.data_ready_ns);
+    }
+}
+
+fn throughput(bytes: u64, time_ns: Ns) -> f64 {
+    if time_ns == 0 {
+        0.0
+    } else {
+        bytes as f64 / time_ns as f64 // bytes per ns == GB/s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_throughput_handle_zero_time() {
+        let m = KernelMetrics::default();
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.dram_throughput_gb_s(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelMetrics {
+            instructions: 10,
+            cycles: 100,
+            time_ns: 50,
+            dram_bytes: 320,
+            ..Default::default()
+        };
+        let b = KernelMetrics {
+            instructions: 30,
+            cycles: 100,
+            time_ns: 50,
+            dram_bytes: 320,
+            data_ready_ns: 999,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 40);
+        assert_eq!(a.cycles, 200);
+        assert_eq!(a.data_ready_ns, 999);
+        assert!((a.ipc() - 0.2).abs() < 1e-12);
+        assert!((a.dram_throughput_gb_s() - 6.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Social-network reachability: the workload class the paper's introduction
+//! motivates. Given a social graph, compute how far an influence cascade
+//! starting from a seed user spreads (BFS levels = propagation rounds), and
+//! compare the four frameworks on the same query.
+//!
+//! ```text
+//! cargo run --release --example social_reachability
+//! ```
+
+use eta_baselines::{CushaLike, EtaFramework, Framework, GunrockLike, TigrLike};
+use eta_graph::generate::{rmat, RmatConfig};
+use eta_sim::GpuConfig;
+use etagraph::Algorithm;
+
+fn main() {
+    // A LiveJournal-like social graph: power-law degrees, ~14 avg degree.
+    let graph = rmat(&RmatConfig::paper(15, 480_000, 7));
+    let seed = (0..graph.n() as u32)
+        .max_by_key(|&v| graph.degree(v))
+        .expect("non-empty graph");
+    println!(
+        "social graph: {} users, {} follow edges; seeding cascade at the biggest hub (degree {})",
+        graph.n(),
+        graph.m(),
+        graph.degree(seed)
+    );
+
+    let frameworks: Vec<Box<dyn Framework>> = vec![
+        Box::new(CushaLike::default()),
+        Box::new(GunrockLike::default()),
+        Box::new(TigrLike::default()),
+        Box::new(EtaFramework::paper()),
+    ];
+
+    let mut hop_histogram: Option<Vec<usize>> = None;
+    println!("\n{:<10} {:>12} {:>12} {:>6}", "framework", "kernel (ms)", "total (ms)", "iters");
+    for fw in &frameworks {
+        match fw.run(GpuConfig::default_preset(), &graph, seed, Algorithm::Bfs) {
+            Ok(r) => {
+                println!(
+                    "{:<10} {:>12.3} {:>12.3} {:>6}",
+                    fw.name(),
+                    r.kernel_ms(),
+                    r.total_ms(),
+                    r.iterations
+                );
+                // All frameworks must agree on the cascade.
+                let hist = level_histogram(&r.labels);
+                if let Some(prev) = &hop_histogram {
+                    assert_eq!(prev, &hist, "{} disagrees", fw.name());
+                } else {
+                    hop_histogram = Some(hist);
+                }
+            }
+            Err(e) => println!("{:<10} {e}", fw.name()),
+        }
+    }
+
+    let hist = hop_histogram.expect("at least one framework ran");
+    let reached: usize = hist.iter().sum();
+    println!(
+        "\ncascade reach: {} of {} users ({:.1}%)",
+        reached,
+        graph.n(),
+        100.0 * reached as f64 / graph.n() as f64
+    );
+    println!("users first reached per propagation round:");
+    for (hop, count) in hist.iter().enumerate() {
+        let bar = "#".repeat((count * 50 / reached.max(1)).min(50));
+        println!("  round {hop:>2}: {count:>7}  {bar}");
+    }
+}
+
+fn level_histogram(labels: &[u32]) -> Vec<usize> {
+    let max = labels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max as usize + 1];
+    for &l in labels {
+        if l != u32::MAX {
+            hist[l as usize] += 1;
+        }
+    }
+    hist
+}

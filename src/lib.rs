@@ -1,0 +1,12 @@
+//! Umbrella crate for the EtaGraph reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). The actual functionality lives in the `crates/*`
+//! members; see README.md for the map.
+
+pub use eta_baselines as baselines;
+pub use eta_graph as graph;
+pub use eta_mem as mem;
+pub use eta_par as par;
+pub use eta_sim as sim;
+pub use etagraph as core;

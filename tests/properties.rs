@@ -1,0 +1,223 @@
+//! Property-based tests of the reproduction's core invariants.
+//!
+//! Random graphs are small (≤ 96 vertices) so each case simulates in
+//! microseconds; proptest then explores hundreds of shapes including the
+//! pathological ones (isolated vertices, self-loops, stars, chains).
+
+use eta_graph::{reference, Csr, Vst};
+use eta_sim::GpuConfig;
+use etagraph::udc::{shadow_count_graph, shadow_slices};
+use etagraph::{Algorithm, EtaConfig, EtaGraph, TransferMode};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary directed graph with ≤ `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| Csr::from_edges(n, &edges))
+    })
+}
+
+/// Strategy: a weighted graph plus a valid source vertex.
+fn arb_weighted_with_source() -> impl Strategy<Value = (Csr, u32)> {
+    (arb_graph(96, 400), 0u64..u64::MAX, any::<proptest::sample::Index>()).prop_map(
+        |(g, seed, idx)| {
+            let src = idx.index(g.n()) as u32;
+            (g.with_random_weights(seed, 32), src)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- Unified Degree Cut: Definition 3 --------------------------------
+
+    /// Shadow slices partition the edge range: disjoint, covering, bounded.
+    #[test]
+    fn udc_slices_partition(start in 0u32..10_000, len in 0u32..500, k in 1u32..40) {
+        let end = start + len;
+        let slices = shadow_slices(start, end, k);
+        let mut cursor = start;
+        for &(s, e) in &slices {
+            prop_assert_eq!(s, cursor, "slices must tile without gaps");
+            prop_assert!(e > s && e - s <= k, "degree bound violated");
+            cursor = e;
+        }
+        prop_assert_eq!(cursor, end, "slices must cover the range");
+        // |shadows| = ceil(deg / K)
+        prop_assert_eq!(slices.len() as u32, len.div_ceil(k));
+    }
+
+    /// UDC and Tigr's VST agree on |N| for every graph and K — they encode
+    /// the same Definition-3 mapping, materialized vs on-the-fly.
+    #[test]
+    fn udc_matches_vst_shadow_count((g, _) in arb_weighted_with_source(), k in 1u32..32) {
+        let vst = Vst::from_csr(&g, k);
+        prop_assert_eq!(vst.n_virtual() as u64, shadow_count_graph(&g, k));
+    }
+
+    // ---- Theorems 1 & 2: traversal through shadow vertices ---------------
+
+    /// BFS through the simulated GPU equals the CPU oracle on arbitrary
+    /// graphs (reachability preserved through shadow vertices).
+    #[test]
+    fn gpu_bfs_equals_oracle((g, src) in arb_weighted_with_source()) {
+        let eta = EtaGraph::new(&g, EtaConfig::paper());
+        let r = eta.run(Algorithm::Bfs, src).unwrap();
+        prop_assert_eq!(r.labels, reference::bfs(&g, src));
+    }
+
+    /// SSSP label equality (virtual paths cost the same as real paths).
+    #[test]
+    fn gpu_sssp_equals_oracle((g, src) in arb_weighted_with_source()) {
+        let eta = EtaGraph::new(&g, EtaConfig::paper());
+        let r = eta.run(Algorithm::Sssp, src).unwrap();
+        prop_assert_eq!(r.labels, reference::sssp(&g, src));
+    }
+
+    /// SSWP label equality under the max-min semiring.
+    #[test]
+    fn gpu_sswp_equals_oracle((g, src) in arb_weighted_with_source()) {
+        let eta = EtaGraph::new(&g, EtaConfig::paper());
+        let r = eta.run(Algorithm::Sswp, src).unwrap();
+        prop_assert_eq!(r.labels, reference::sswp(&g, src));
+    }
+
+    /// The degree limit K never changes results, only performance.
+    #[test]
+    fn results_invariant_under_k((g, src) in arb_weighted_with_source(), k in 1u32..40) {
+        let cfg = EtaConfig { k, ..EtaConfig::paper() };
+        let r = EtaGraph::new(&g, cfg).run(Algorithm::Bfs, src).unwrap();
+        prop_assert_eq!(r.labels, reference::bfs(&g, src));
+    }
+
+    /// Neither SMP nor the transfer mode changes results.
+    #[test]
+    fn results_invariant_under_config((g, src) in arb_weighted_with_source(), smp in any::<bool>()) {
+        let expect = reference::sssp(&g, src);
+        for transfer in [
+            TransferMode::Unified,
+            TransferMode::UnifiedPrefetch,
+            TransferMode::ZeroCopy,
+        ] {
+            let cfg = EtaConfig { smp, transfer, ..EtaConfig::paper() };
+            let r = EtaGraph::new(&g, cfg).run(Algorithm::Sssp, src).unwrap();
+            prop_assert_eq!(&r.labels, &expect, "smp={} transfer={:?}", smp, transfer);
+        }
+    }
+
+    // ---- representations --------------------------------------------------
+
+    /// Every alternative representation preserves the edge multiset.
+    #[test]
+    fn representations_preserve_edges((g, _) in arb_weighted_with_source()) {
+        let mut csr_edges = g.edge_tuples();
+        csr_edges.sort_unstable();
+        let gs = eta_graph::GShards::from_csr(&g, 8);
+        prop_assert_eq!(gs.edge_tuples(), csr_edges.clone());
+        let el = eta_graph::EdgeList::from_csr(&g);
+        let mut el_edges: Vec<(u32, u32)> =
+            el.src.iter().zip(&el.dst).map(|(&a, &b)| (a, b)).collect();
+        el_edges.sort_unstable();
+        prop_assert_eq!(el_edges, csr_edges.clone());
+        // Transpose twice is the identity.
+        prop_assert_eq!(g.transpose().transpose(), g.clone());
+        // Serialization round-trips.
+        let mut buf = Vec::new();
+        eta_graph::io::write_csr(&g, &mut buf).unwrap();
+        prop_assert_eq!(eta_graph::io::read_csr(&mut buf.as_slice()).unwrap(), g);
+    }
+
+    // ---- accounting invariants --------------------------------------------
+
+    /// Metric identities hold for every run: cache hits never exceed
+    /// requests, DRAM reads never exceed L2 reads, times are consistent.
+    #[test]
+    fn metric_identities((g, src) in arb_weighted_with_source()) {
+        let r = EtaGraph::new(&g, EtaConfig::paper()).run(Algorithm::Sssp, src).unwrap();
+        let m = &r.metrics;
+        prop_assert!(m.l1.hits <= m.l1_requests);
+        prop_assert!(m.l2_requests <= m.l1_requests);
+        prop_assert!(m.dram_transactions <= m.l2_requests);
+        prop_assert_eq!(m.l1.accesses(), m.l1_requests);
+        prop_assert!(r.total_ns >= r.kernel_ns);
+        prop_assert!(r.overlap_fraction >= 0.0 && r.overlap_fraction <= 1.0);
+        // Iterations and per-iteration stats agree.
+        prop_assert_eq!(r.per_iteration.len(), r.iterations as usize);
+    }
+
+    /// Activation accounting: visited == reachable set size for BFS.
+    #[test]
+    fn activation_equals_reachability((g, src) in arb_weighted_with_source()) {
+        let r = EtaGraph::new(&g, EtaConfig::paper()).run(Algorithm::Bfs, src).unwrap();
+        prop_assert_eq!(r.visited(), eta_graph::analysis::reachable_from(&g, src));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Device capacity only separates run/OOM — never changes labels.
+    #[test]
+    fn capacity_never_changes_results((g, src) in arb_weighted_with_source(), mb in 1u64..4) {
+        let gpu = GpuConfig::gtx1080ti_scaled(mb * 1024 * 1024);
+        let eta = EtaGraph::new(&g, EtaConfig::paper()).with_gpu(gpu);
+        if let Ok(r) = eta.run(Algorithm::Bfs, src) {
+            prop_assert_eq!(r.labels, reference::bfs(&g, src));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel sort agrees with the standard sort on arbitrary inputs.
+    #[test]
+    fn par_sort_matches_std(mut v in proptest::collection::vec((0u32..500, 0u32..u32::MAX), 0..5000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        eta_par::par_sort_by_key(&mut v, |&pair| pair);
+        prop_assert_eq!(v, expect);
+    }
+
+    /// GPU connected components equal the union-find oracle on symmetrized
+    /// random graphs.
+    #[test]
+    fn gpu_cc_equals_union_find((g, _) in arb_weighted_with_source()) {
+        let mut edges = g.edge_tuples();
+        edges.extend(g.edge_tuples().iter().map(|&(a, b)| (b, a)));
+        let sym = Csr::from_edges(g.n(), &edges);
+        let r = EtaGraph::new(&sym, EtaConfig::paper())
+            .run(Algorithm::Cc, 0)
+            .unwrap();
+        let mut uf = eta_graph::analysis::UnionFind::new(sym.n());
+        for (a, b) in sym.edge_tuples() {
+            uf.union(a, b);
+        }
+        let mut min_of_root = std::collections::HashMap::new();
+        for v in 0..sym.n() as u32 {
+            let root = uf.find(v);
+            let e = min_of_root.entry(root).or_insert(v);
+            *e = (*e).min(v);
+        }
+        for v in 0..sym.n() as u32 {
+            prop_assert_eq!(r.labels[v as usize], min_of_root[&uf.find(v)]);
+        }
+    }
+
+    /// Batched multi-source BFS equals per-source BFS for arbitrary graphs
+    /// and batch compositions.
+    #[test]
+    fn multi_bfs_equals_individual((g, src) in arb_weighted_with_source(), extra in proptest::collection::vec(any::<proptest::sample::Index>(), 1..6)) {
+        let mut sources = vec![src];
+        for idx in extra {
+            sources.push(idx.index(g.n()) as u32);
+        }
+        let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+        let r = etagraph::multi_bfs::run(&mut dev, &g, &sources, &EtaConfig::paper()).unwrap();
+        for (s, &source) in sources.iter().enumerate() {
+            prop_assert_eq!(&r.levels[s], &reference::bfs(&g, source), "source {}", source);
+        }
+    }
+}
