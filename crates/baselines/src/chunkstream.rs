@@ -24,7 +24,7 @@
 use crate::framework::{Framework, FrameworkError};
 use eta_graph::Csr;
 use eta_mem::system::DSlice;
-use eta_sim::{Device, GpuConfig, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
+use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 use etagraph::result::{IterationStats, RunResult};
 use etagraph::Algorithm;
 
@@ -128,7 +128,7 @@ impl Framework for ChunkStream {
 
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
@@ -141,7 +141,6 @@ impl Framework for ChunkStream {
         if alg.needs_weights() && !csr.is_weighted() {
             return Err(FrameworkError::Unsupported("weights required"));
         }
-        let mut dev = Device::new(gpu);
         let tpb = self.threads_per_block;
         let n = csr.n() as u32;
         let m = csr.m() as u32;
@@ -164,12 +163,14 @@ impl Framework for ChunkStream {
         let buf_a = [
             dev.mem.alloc_explicit(chunk as u64)?,
             dev.mem.alloc_explicit(chunk as u64)?,
-            dev.mem.alloc_explicit(if weighted { chunk as u64 } else { 1 })?,
+            dev.mem
+                .alloc_explicit(if weighted { chunk as u64 } else { 1 })?,
         ];
         let buf_b = [
             dev.mem.alloc_explicit(chunk as u64)?,
             dev.mem.alloc_explicit(chunk as u64)?,
-            dev.mem.alloc_explicit(if weighted { chunk as u64 } else { 1 })?,
+            dev.mem
+                .alloc_explicit(if weighted { chunk as u64 } else { 1 })?,
         ];
         let labels = dev.mem.alloc_explicit(n as u64)?;
         let flag = dev.mem.alloc_explicit(1)?;
@@ -224,8 +225,11 @@ impl Framework for ChunkStream {
                     flag,
                     len,
                 };
-                let r =
-                    dev.launch(&kern, LaunchConfig::for_items(len, tpb), xfer_end.max(compute_ready));
+                let r = dev.launch(
+                    &kern,
+                    LaunchConfig::for_items(len, tpb),
+                    xfer_end.max(compute_ready),
+                );
                 compute_ready = r.end_ns;
                 buf_ready[slot] = r.end_ns;
                 metrics.merge(&r.metrics);
@@ -282,6 +286,7 @@ mod tests {
     use eta_graph::generate::{rmat, RmatConfig};
     use eta_graph::reference;
     use eta_mem::timeline::SpanKind;
+    use eta_sim::GpuConfig;
 
     fn graph() -> Csr {
         rmat(&RmatConfig::paper(11, 25_000, 91)).with_random_weights(5, 32)
@@ -298,7 +303,12 @@ mod tests {
     fn chunkstream_bfs_matches_reference() {
         let g = graph();
         let r = small_chunks()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
     }
@@ -307,11 +317,21 @@ mod tests {
     fn chunkstream_sssp_and_sswp_match_reference() {
         let g = graph();
         let sssp = small_chunks()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sssp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sssp,
+            )
             .unwrap();
         assert_eq!(sssp.labels, reference::sssp(&g, 0));
         let sswp = small_chunks()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sswp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sswp,
+            )
             .unwrap();
         assert_eq!(sswp.labels, reference::sswp(&g, 0));
     }
@@ -323,7 +343,9 @@ mod tests {
         let g = graph();
         let fw = small_chunks();
         let gpu = GpuConfig::gtx1080ti_scaled(400 * 1024);
-        let r = fw.run(gpu, &g, 0, Algorithm::Bfs).unwrap();
+        let r = fw
+            .run(&mut Device::new(gpu), &g, 0, Algorithm::Bfs)
+            .unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
     }
 
@@ -331,7 +353,12 @@ mod tests {
     fn chunkstream_restreams_topology_every_iteration() {
         let g = graph();
         let r = small_chunks()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         let h2d: u64 = r
             .timeline
@@ -357,10 +384,20 @@ mod tests {
         // its per-iteration fixed costs are lower).
         let g = rmat(&RmatConfig::paper(15, 1_200_000, 91));
         let eta = EtaFramework::paper()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         let chunks = ChunkStream::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(eta.labels, chunks.labels);
         assert!(

@@ -23,7 +23,7 @@
 use crate::framework::{Framework, FrameworkError};
 use eta_graph::{Csr, GShards};
 use eta_mem::system::DSlice;
-use eta_sim::{Device, GpuConfig, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
+use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 use etagraph::result::{IterationStats, RunResult};
 use etagraph::Algorithm;
 
@@ -127,7 +127,9 @@ impl Kernel for RelaxKernel {
         }
         let vals = w.load_burst(self.srcval, &start, &count, mask);
         let dsts = w.load_burst(self.dst, &start, &count, mask);
-        let wts = self.weights.map(|ws| w.load_burst(ws, &start, &count, mask));
+        let wts = self
+            .weights
+            .map(|ws| w.load_burst(ws, &start, &count, mask));
 
         for j in 0..vals.len() {
             let mut row = 0u32;
@@ -198,7 +200,7 @@ impl Framework for CushaLike {
 
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
@@ -211,7 +213,6 @@ impl Framework for CushaLike {
         if alg.needs_weights() && !csr.is_weighted() {
             return Err(FrameworkError::Unsupported("weights required"));
         }
-        let mut dev = Device::new(gpu);
         let tpb = self.threads_per_block;
         let n = csr.n() as u32;
         let m = csr.m() as u64;
@@ -347,6 +348,7 @@ mod tests {
     use super::*;
     use eta_graph::generate::{rmat, RmatConfig};
     use eta_graph::reference;
+    use eta_sim::GpuConfig;
 
     fn graph() -> Csr {
         rmat(&RmatConfig::paper(11, 25_000, 55)).with_random_weights(8, 32)
@@ -356,7 +358,12 @@ mod tests {
     fn cusha_bfs_matches_reference() {
         let g = graph();
         let r = CushaLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
     }
@@ -365,7 +372,12 @@ mod tests {
     fn cusha_sssp_matches_reference() {
         let g = graph();
         let r = CushaLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sssp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sssp,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::sssp(&g, 0));
     }
@@ -374,7 +386,12 @@ mod tests {
     fn cusha_sswp_matches_reference() {
         let g = graph();
         let r = CushaLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sswp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sswp,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::sswp(&g, 0));
     }
@@ -384,7 +401,7 @@ mod tests {
         // ~5.5 words/edge: a device fitting 3 words/edge must OOM.
         let g = graph();
         let gpu = GpuConfig::gtx1080ti_scaled(3 * g.m() as u64 * 4);
-        match CushaLike::default().run(gpu, &g, 0, Algorithm::Bfs) {
+        match CushaLike::default().run(&mut Device::new(gpu), &g, 0, Algorithm::Bfs) {
             Err(FrameworkError::Oom(_)) => {}
             other => panic!("expected OOM, got {:?}", other.map(|r| r.iterations)),
         }
@@ -394,7 +411,12 @@ mod tests {
     fn cusha_touches_all_edges_every_iteration() {
         let g = graph();
         let r = CushaLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         // Per-iteration kernel work is flat: iteration instructions are all
         // within 2x of each other (no frontier scaling).
@@ -423,7 +445,12 @@ mod tests {
     fn empty_graph_terminates() {
         let g = Csr::from_edges(3, &[]);
         let r = CushaLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(r.labels, vec![0, u32::MAX, u32::MAX]);
     }

@@ -36,7 +36,13 @@ impl From<MemError> for FrameworkError {
 pub trait Framework {
     fn name(&self) -> &'static str;
 
-    /// Runs `alg` from `source` on a fresh device built from `gpu`.
+    /// Runs `alg` from `source` on `dev`, which must be a fresh device (the
+    /// frameworks assume an empty allocator for their O.O.M accounting).
+    ///
+    /// Taking the device from the caller — rather than a `GpuConfig` to
+    /// build one internally — lets callers attach instrumentation and read
+    /// it back after the run: `Device::sanitizer_report` is the motivating
+    /// example. Use [`run_fresh`] for the old construct-and-run behavior.
     ///
     /// `csr` must carry weights when the algorithm needs them. Total time
     /// includes host→device transfer of the framework's own data structures
@@ -44,11 +50,23 @@ pub trait Framework {
     /// methodology states, and is not charged).
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
     ) -> Result<RunResult, FrameworkError>;
+}
+
+/// Runs `fw` on a freshly constructed device — the common non-instrumented
+/// path, equivalent to the pre-refactor `Framework::run(gpu, ...)`.
+pub fn run_fresh(
+    fw: &dyn Framework,
+    gpu: GpuConfig,
+    csr: &Csr,
+    source: u32,
+    alg: Algorithm,
+) -> Result<RunResult, FrameworkError> {
+    fw.run(&mut Device::new(gpu), csr, source, alg)
 }
 
 /// EtaGraph behind the common interface.
@@ -82,13 +100,12 @@ impl Framework for EtaFramework {
 
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
     ) -> Result<RunResult, FrameworkError> {
-        let mut dev = Device::new(gpu);
-        etagraph::engine::run(&mut dev, csr, source, alg, &self.cfg).map_err(Into::into)
+        etagraph::engine::run(dev, csr, source, alg, &self.cfg).map_err(Into::into)
     }
 }
 
@@ -102,9 +119,7 @@ mod tests {
     fn eta_framework_runs_and_matches_reference() {
         let g = rmat(&RmatConfig::paper(10, 10_000, 2));
         let fw = EtaFramework::paper();
-        let r = fw
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
-            .unwrap();
+        let r = run_fresh(&fw, GpuConfig::default_preset(), &g, 0, Algorithm::Bfs).unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
         assert_eq!(fw.name(), "EtaGraph");
         assert_eq!(EtaFramework::without_ump().name(), "EtaGraph w/o UMP");

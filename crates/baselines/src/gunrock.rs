@@ -23,7 +23,7 @@
 use crate::framework::{Framework, FrameworkError};
 use eta_graph::Csr;
 use eta_mem::system::DSlice;
-use eta_sim::{Device, GpuConfig, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
+use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 use etagraph::active_set::DeviceQueue;
 use etagraph::result::{IterationStats, RunResult};
 use etagraph::Algorithm;
@@ -303,7 +303,7 @@ impl Framework for GunrockLike {
 
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
@@ -316,7 +316,6 @@ impl Framework for GunrockLike {
         if alg.needs_weights() && !csr.is_weighted() {
             return Err(FrameworkError::Unsupported("weights required"));
         }
-        let mut dev = Device::new(gpu);
         let tpb = self.threads_per_block;
         let n = csr.n() as u32;
         let m = csr.m() as u64;
@@ -331,9 +330,9 @@ impl Framework for GunrockLike {
         };
         let labels = dev.mem.alloc_explicit(n as u64)?;
         let tags = dev.mem.alloc_explicit(n as u64)?;
-        let frontier_a = DeviceQueue::alloc(&mut dev, n)?;
-        let frontier_b = DeviceQueue::alloc(&mut dev, n)?;
-        let raw = DeviceQueue::alloc(&mut dev, n)?;
+        let frontier_a = DeviceQueue::alloc(&mut *dev, n)?;
+        let frontier_b = DeviceQueue::alloc(&mut *dev, n)?;
+        let raw = DeviceQueue::alloc(&mut *dev, n)?;
         // Gunrock's load-balancing scan array, sized for the worst-case
         // frontier (|E|/2 words) — allocated upfront like the real system.
         let scan_temp = dev.mem.alloc_explicit((m / 2).max(n as u64).max(1))?;
@@ -350,7 +349,7 @@ impl Framework for GunrockLike {
         init[source as usize] = alg.source_label();
         now = dev.mem.copy_h2d(labels, 0, &init, now);
         now = dev.mem.copy_h2d(tags, 0, &vec![0u32; n as usize], now);
-        frontier_a.host_seed(&mut dev, &[source]);
+        frontier_a.host_seed(&mut *dev, &[source]);
         now = dev.mem.copy_h2d(frontier_a.count, 0, &[1], now);
 
         let mut queues = (frontier_a, frontier_b);
@@ -365,8 +364,8 @@ impl Framework for GunrockLike {
             iter += 1;
             let start_ns = now;
             let (front, next) = (&queues.0, &queues.1);
-            now = raw.reset(&mut dev, now);
-            now = next.reset(&mut dev, now);
+            now = raw.reset(&mut *dev, now);
+            now = next.reset(&mut *dev, now);
 
             // 1. load-balancing partition
             let lb = LbPartitionKernel {
@@ -398,7 +397,7 @@ impl Framework for GunrockLike {
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
 
-            let (raw_len, t) = raw.read_count(&mut dev, now);
+            let (raw_len, t) = raw.read_count(&mut *dev, now);
             now = t;
 
             // 3. filter (+ SSSP/SSWP's extra bucketing pass)
@@ -447,7 +446,7 @@ impl Framework for GunrockLike {
             });
 
             queues = (queues.1, queues.0);
-            let (len, t) = queues.0.read_count(&mut dev, now);
+            let (len, t) = queues.0.read_count(&mut *dev, now);
             act_len = len;
             now = t;
         }
@@ -475,6 +474,7 @@ mod tests {
     use super::*;
     use eta_graph::generate::{rmat, RmatConfig};
     use eta_graph::reference;
+    use eta_sim::GpuConfig;
 
     fn graph() -> Csr {
         rmat(&RmatConfig::paper(11, 25_000, 33)).with_random_weights(6, 32)
@@ -484,7 +484,12 @@ mod tests {
     fn gunrock_bfs_matches_reference() {
         let g = graph();
         let r = GunrockLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
     }
@@ -493,7 +498,12 @@ mod tests {
     fn gunrock_sssp_matches_reference() {
         let g = graph();
         let r = GunrockLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sssp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sssp,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::sssp(&g, 0));
     }
@@ -502,7 +512,12 @@ mod tests {
     fn gunrock_sswp_matches_reference() {
         let g = graph();
         let r = GunrockLike::default()
-            .run(GpuConfig::default_preset(), &g, 2, Algorithm::Sswp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                2,
+                Algorithm::Sswp,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::sswp(&g, 2));
     }
@@ -516,7 +531,7 @@ mod tests {
         // that covers labels/queues but not the |E|/2-word scan buffer.
         let csr_bytes = (g.m() as u64 + g.n() as u64 + 1) * 4;
         let gpu = GpuConfig::gtx1080ti_scaled(csr_bytes + g.n() as u64 * 6 * 4);
-        match GunrockLike::default().run(gpu, &g, 0, Algorithm::Bfs) {
+        match GunrockLike::default().run(&mut Device::new(gpu), &g, 0, Algorithm::Bfs) {
             Err(FrameworkError::Oom(_)) => {}
             other => panic!("expected OOM, got {:?}", other.map(|r| r.iterations)),
         }
@@ -526,10 +541,20 @@ mod tests {
     fn gunrock_sssp_runs_more_kernel_passes_than_bfs() {
         let g = graph();
         let bfs = GunrockLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         let sssp = GunrockLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Sssp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Sssp,
+            )
             .unwrap();
         assert!(sssp.kernel_ns > bfs.kernel_ns);
     }

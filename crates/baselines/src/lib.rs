@@ -32,6 +32,6 @@ pub mod tigr;
 
 pub use chunkstream::ChunkStream;
 pub use cusha::CushaLike;
-pub use framework::{EtaFramework, Framework, FrameworkError};
+pub use framework::{run_fresh, EtaFramework, Framework, FrameworkError};
 pub use gunrock::GunrockLike;
 pub use tigr::TigrLike;

@@ -21,7 +21,7 @@
 use crate::framework::{Framework, FrameworkError};
 use eta_graph::{Csr, Vst};
 use eta_mem::system::DSlice;
-use eta_sim::{Device, GpuConfig, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
+use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 use etagraph::active_set::DeviceQueue;
 use etagraph::result::{IterationStats, RunResult};
 use etagraph::Algorithm;
@@ -222,7 +222,7 @@ impl Framework for TigrLike {
 
     fn run(
         &self,
-        gpu: GpuConfig,
+        dev: &mut Device,
         csr: &Csr,
         source: u32,
         alg: Algorithm,
@@ -232,7 +232,6 @@ impl Framework for TigrLike {
                 "connected components is an EtaGraph-only extension",
             ));
         }
-        let mut dev = Device::new(gpu);
         let tpb = self.threads_per_block;
         let n = csr.n() as u32;
 
@@ -256,16 +255,18 @@ impl Framework for TigrLike {
         };
         let labels = dev.mem.alloc_explicit(n as u64)?;
         let tags = dev.mem.alloc_explicit(n as u64)?;
-        let act = DeviceQueue::alloc(&mut dev, n)?;
-        let next = DeviceQueue::alloc(&mut dev, n)?;
-        let virt_frontier = DeviceQueue::alloc(&mut dev, n_virt.max(1))?;
+        let act = DeviceQueue::alloc(&mut *dev, n)?;
+        let next = DeviceQueue::alloc(&mut *dev, n)?;
+        let virt_frontier = DeviceQueue::alloc(&mut *dev, n_virt.max(1))?;
 
         // Upfront copies (charged).
         let mut now = dev.mem.copy_h2d(virt_offsets, 0, &vst.virt_offsets, 0);
         if !vst.virt_real.is_empty() {
             now = dev.mem.copy_h2d(virt_real, 0, &vst.virt_real, now);
         }
-        now = dev.mem.copy_h2d(real_virt_start, 0, &vst.real_virt_start, now);
+        now = dev
+            .mem
+            .copy_h2d(real_virt_start, 0, &vst.real_virt_start, now);
         if !vst.col_idx.is_empty() {
             now = dev.mem.copy_h2d(col_idx, 0, &vst.col_idx, now);
         }
@@ -276,7 +277,7 @@ impl Framework for TigrLike {
         init[source as usize] = alg.source_label();
         now = dev.mem.copy_h2d(labels, 0, &init, now);
         now = dev.mem.copy_h2d(tags, 0, &vec![0u32; n as usize], now);
-        act.host_seed(&mut dev, &[source]);
+        act.host_seed(&mut *dev, &[source]);
         now = dev.mem.copy_h2d(act.count, 0, &[1], now);
 
         // Frontier loop.
@@ -292,8 +293,8 @@ impl Framework for TigrLike {
             iter += 1;
             let start_ns = now;
             let (act, next) = (&queues.0, &queues.1);
-            now = virt_frontier.reset(&mut dev, now);
-            now = next.reset(&mut dev, now);
+            now = virt_frontier.reset(&mut *dev, now);
+            now = next.reset(&mut *dev, now);
 
             let expand = ExpandKernel {
                 act_items: act.items,
@@ -306,7 +307,7 @@ impl Framework for TigrLike {
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
 
-            let (nv, t) = virt_frontier.read_count(&mut dev, now);
+            let (nv, t) = virt_frontier.read_count(&mut *dev, now);
             now = t;
             if nv > 0 {
                 let traverse = TigrTraverse {
@@ -346,7 +347,7 @@ impl Framework for TigrLike {
             });
 
             queues = (queues.1, queues.0);
-            let (len, t) = queues.0.read_count(&mut dev, now);
+            let (len, t) = queues.0.read_count(&mut *dev, now);
             act_len = len;
             now = t;
         }
@@ -374,6 +375,7 @@ mod tests {
     use super::*;
     use eta_graph::generate::{rmat, RmatConfig};
     use eta_graph::reference;
+    use eta_sim::GpuConfig;
 
     fn graph() -> Csr {
         rmat(&RmatConfig::paper(11, 25_000, 77)).with_random_weights(4, 32)
@@ -383,7 +385,12 @@ mod tests {
     fn tigr_bfs_matches_reference() {
         let g = graph();
         let r = TigrLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
     }
@@ -392,11 +399,21 @@ mod tests {
     fn tigr_sssp_and_sswp_match_reference() {
         let g = graph();
         let sssp = TigrLike::default()
-            .run(GpuConfig::default_preset(), &g, 1, Algorithm::Sssp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                1,
+                Algorithm::Sssp,
+            )
             .unwrap();
         assert_eq!(sssp.labels, reference::sssp(&g, 1));
         let sswp = TigrLike::default()
-            .run(GpuConfig::default_preset(), &g, 1, Algorithm::Sswp)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                1,
+                Algorithm::Sswp,
+            )
             .unwrap();
         assert_eq!(sswp.labels, reference::sswp(&g, 1));
     }
@@ -405,7 +422,12 @@ mod tests {
     fn tigr_total_includes_upfront_transfer() {
         let g = graph();
         let r = TigrLike::default()
-            .run(GpuConfig::default_preset(), &g, 0, Algorithm::Bfs)
+            .run(
+                &mut Device::new(GpuConfig::default_preset()),
+                &g,
+                0,
+                Algorithm::Bfs,
+            )
             .unwrap();
         // The whole VST structure crosses the link before kernels start.
         let vst = Vst::from_csr(&g, TIGR_K);
@@ -423,7 +445,7 @@ mod tests {
     fn tigr_ooms_when_footprint_exceeds_device() {
         let g = graph();
         let tiny = GpuConfig::gtx1080ti_scaled(64 * 1024);
-        match TigrLike::default().run(tiny, &g, 0, Algorithm::Bfs) {
+        match TigrLike::default().run(&mut Device::new(tiny), &g, 0, Algorithm::Bfs) {
             Err(FrameworkError::Oom(_)) => {}
             other => panic!("expected OOM, got {other:?}"),
         }
@@ -432,7 +454,12 @@ mod tests {
     #[test]
     fn tigr_weighted_algorithms_need_weights() {
         let g = rmat(&RmatConfig::paper(9, 4_000, 1)); // unweighted
-        let r = TigrLike::default().run(GpuConfig::default_preset(), &g, 0, Algorithm::Sssp);
+        let r = TigrLike::default().run(
+            &mut Device::new(GpuConfig::default_preset()),
+            &g,
+            0,
+            Algorithm::Sssp,
+        );
         assert!(matches!(r, Err(FrameworkError::Unsupported(_))));
     }
 }

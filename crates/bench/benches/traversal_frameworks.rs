@@ -5,6 +5,7 @@
 //! `cargo run -p eta-bench --bin report -- table3`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta_baselines::run_fresh;
 use eta_bench::suite::{dataset, frameworks, graph_for};
 use eta_sim::GpuConfig;
 use etagraph::Algorithm;
@@ -17,18 +18,19 @@ fn bench_frameworks(c: &mut Criterion) {
     for alg in Algorithm::ALL {
         let g = graph_for("slashdot", alg);
         for fw in frameworks() {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), fw.name()),
-                &alg,
-                |b, &alg| {
-                    b.iter(|| {
-                        let r = fw
-                            .run(GpuConfig::default_preset(), black_box(&g), d.source, alg)
-                            .expect("slashdot fits every framework");
-                        black_box(r.total_ns)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), fw.name()), &alg, |b, &alg| {
+                b.iter(|| {
+                    let r = run_fresh(
+                        fw.as_ref(),
+                        GpuConfig::default_preset(),
+                        black_box(&g),
+                        d.source,
+                        alg,
+                    )
+                    .expect("slashdot fits every framework");
+                    black_box(r.total_ns)
+                })
+            });
         }
     }
     group.finish();

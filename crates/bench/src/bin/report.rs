@@ -16,9 +16,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN: [&str; 11] = [
+const KNOWN: [&str; 12] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras",
+    "extras", "sanitize",
 ];
 
 fn main() {
@@ -38,7 +38,9 @@ fn main() {
             "all" => wanted.extend(KNOWN.iter().map(|s| s.to_string())),
             other if KNOWN.contains(&other) => wanted.push(other.to_string()),
             other => {
-                eprintln!("unknown artifact {other:?}; known: {KNOWN:?}, 'all', --quick, --out DIR");
+                eprintln!(
+                    "unknown artifact {other:?}; known: {KNOWN:?}, 'all', --quick, --out DIR"
+                );
                 std::process::exit(2);
             }
         }
@@ -81,6 +83,11 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         "fig6" => figs::fig6(suite),
         "fig7" => figs::fig7(),
         "extras" => eta_bench::extras::extras(if suite == Suite::Quick {
+            "slashdot"
+        } else {
+            "livejournal"
+        }),
+        "sanitize" => eta_bench::sanitize::sanitize(if suite == Suite::Quick {
             "slashdot"
         } else {
             "livejournal"

@@ -4,7 +4,7 @@
 use crate::suite::{self, dataset};
 use crate::tables::Artifact;
 use crate::text;
-use eta_baselines::{ChunkStream, EtaFramework, Framework};
+use eta_baselines::{run_fresh, ChunkStream, EtaFramework};
 use eta_sim::GpuConfig;
 use etagraph::session::Session;
 use etagraph::{pagerank, Algorithm, EtaConfig};
@@ -88,12 +88,22 @@ pub fn extras(ds: &'static str) -> Artifact {
     );
 
     // --- §I's fixed-chunk streaming critique --------------------------------
-    let eta = EtaFramework::paper()
-        .run(GpuConfig::default_preset(), &d.csr, d.source, Algorithm::Bfs)
-        .expect("fits");
-    let chunks = ChunkStream::default()
-        .run(GpuConfig::default_preset(), &d.csr, d.source, Algorithm::Bfs)
-        .expect("streaming never OOMs");
+    let eta = run_fresh(
+        &EtaFramework::paper(),
+        GpuConfig::default_preset(),
+        &d.csr,
+        d.source,
+        Algorithm::Bfs,
+    )
+    .expect("fits");
+    let chunks = run_fresh(
+        &ChunkStream::default(),
+        GpuConfig::default_preset(),
+        &d.csr,
+        d.source,
+        Algorithm::Bfs,
+    )
+    .expect("streaming never OOMs");
     assert_eq!(eta.labels, chunks.labels);
     body.push_str(&format!(
         "fixed-chunk streaming (GTS-like) vs EtaGraph (BFS on {ds}):\n  EtaGraph {:.3} ms total; ChunkStream {:.3} ms total ({:.1}x) — re-streams the topology every iteration\n\n",

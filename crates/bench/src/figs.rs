@@ -205,7 +205,12 @@ pub fn fig7() -> Artifact {
     let n = &without.metrics;
     let entries = vec![
         metric("ipc", m.ipc(), n.ipc(), true),
-        metric("unified_cache_hit_rate", m.l1_hit_rate(), n.l1_hit_rate(), true),
+        metric(
+            "unified_cache_hit_rate",
+            m.l1_hit_rate(),
+            n.l1_hit_rate(),
+            true,
+        ),
         metric("l2_hit_rate", m.l2_hit_rate(), n.l2_hit_rate(), true),
         metric(
             "l2_read_throughput_gb_s",
@@ -338,12 +343,7 @@ mod tests {
             .iter()
             .map(|v| v.as_u64().unwrap())
             .collect();
-        let peak_idx = active
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .unwrap()
-            .0;
+        let peak_idx = active.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
         assert!(peak_idx > 0 && peak_idx < active.len() - 1);
     }
 }

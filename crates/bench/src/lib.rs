@@ -10,6 +10,7 @@
 
 pub mod extras;
 pub mod figs;
+pub mod sanitize;
 pub mod suite;
 pub mod tables;
 pub mod text;

@@ -1,10 +1,12 @@
 //! Dataset caching and framework-cell execution for the report harness.
 
+use eta_baselines::{
+    run_fresh, CushaLike, EtaFramework, Framework, FrameworkError, GunrockLike, TigrLike,
+};
 use eta_graph::datasets::{self, Dataset};
 use eta_graph::Csr;
 use eta_sim::GpuConfig;
 use etagraph::{Algorithm, RunResult};
-use eta_baselines::{CushaLike, EtaFramework, Framework, FrameworkError, GunrockLike, TigrLike};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -132,7 +134,7 @@ pub fn frameworks() -> Vec<Box<dyn Framework>> {
 pub fn run_cell(fw: &dyn Framework, name: &'static str, alg: Algorithm) -> CellOutcome {
     let g = graph_for(name, alg);
     let d = dataset(name);
-    match fw.run(GpuConfig::default_preset(), &g, d.source, alg) {
+    match run_fresh(fw, GpuConfig::default_preset(), &g, d.source, alg) {
         Ok(r) => CellOutcome::Ok(Box::new(r)),
         Err(FrameworkError::Oom(_)) => CellOutcome::Oom,
         Err(FrameworkError::Unsupported(_)) => CellOutcome::Unsupported,

@@ -29,10 +29,15 @@ pub fn table1() -> Artifact {
     let vst = Vst::from_csr(g, 10);
     let vst_bytes = vst.topology_bytes();
     let n_shadow = etagraph::udc::shadow_count_graph(g, 10);
-    assert_eq!(n_shadow as usize, vst.n_virtual(), "UDC and VST agree on |N|");
+    assert_eq!(
+        n_shadow as usize,
+        vst.n_virtual(),
+        "UDC and VST agree on |N|"
+    );
 
     let norm = |b: u64| b as f64 / csr_bytes as f64;
-    let rows = [(
+    let rows = [
+        (
             "G-Shard",
             "2|E|".to_string(),
             gshard_bytes,
@@ -50,7 +55,8 @@ pub fn table1() -> Artifact {
             vst_bytes,
             norm(vst_bytes),
         ),
-        ("CSR", "|E| + |V|".to_string(), csr_bytes, norm(csr_bytes))];
+        ("CSR", "|E| + |V|".to_string(), csr_bytes, norm(csr_bytes)),
+    ];
     let text_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, theory, bytes, norm)| {
@@ -177,7 +183,7 @@ pub fn table4(suite: Suite) -> Artifact {
     let mut jrows = Vec::new();
     for &ds in &names {
         let d = dataset(ds);
-        let r = eta_baselines::Framework::run(
+        let r = eta_baselines::run_fresh(
             &fw,
             GpuConfig::default_preset(),
             &d.csr,
@@ -259,7 +265,13 @@ pub fn table5(suite: Suite) -> Artifact {
         name: "table5",
         title: "Table V: size of migrated pages (SSSP)".into(),
         text: text::table(
-            &["configuration", "avg size (KB)", "min (KB)", "max (KB)", "#batches"],
+            &[
+                "configuration",
+                "avg size (KB)",
+                "min (KB)",
+                "max (KB)",
+                "#batches",
+            ],
             &rows,
         ),
         json: Value::Array(jrows),
@@ -285,15 +297,17 @@ mod tests {
         let a = table1();
         let rows = a.json["rows"].as_array().unwrap();
         let get = |name: &str| {
-            rows.iter()
-                .find(|r| r["structure"] == name)
-                .unwrap()["normalized"]
+            rows.iter().find(|r| r["structure"] == name).unwrap()["normalized"]
                 .as_f64()
                 .unwrap()
         };
         assert_eq!(get("CSR"), 1.0);
         // Paper: G-Shard/EdgeList 1.87, VST 1.32 on LiveJournal.
-        assert!((get("Edge List") - 1.87).abs() < 0.15, "{}", get("Edge List"));
+        assert!(
+            (get("Edge List") - 1.87).abs() < 0.15,
+            "{}",
+            get("Edge List")
+        );
         assert!((get("G-Shard") - 1.9).abs() < 0.2);
         assert!((get("VST") - 1.32).abs() < 0.2, "{}", get("VST"));
     }

@@ -65,10 +65,7 @@ pub fn human_bytes(bytes: u64) -> String {
 
 /// Renders a two-lane ASCII timeline (transfer vs compute) over `width`
 /// character cells — the Fig. 4 "execution status" strip chart.
-pub fn timeline_strip(
-    spans: &[eta_mem::timeline::Span],
-    width: usize,
-) -> String {
+pub fn timeline_strip(spans: &[eta_mem::timeline::Span], width: usize) -> String {
     let end = spans.iter().map(|s| s.end).max().unwrap_or(0);
     if end == 0 {
         return String::from("(empty timeline)\n");
@@ -87,9 +84,8 @@ pub fn timeline_strip(
             *cell = true;
         }
     }
-    let render = |cells: &[bool]| -> String {
-        cells.iter().map(|&b| if b { '#' } else { '.' }).collect()
-    };
+    let render =
+        |cells: &[bool]| -> String { cells.iter().map(|&b| if b { '#' } else { '.' }).collect() };
     format!(
         "transfer |{}|\ncompute  |{}|  (0 .. {:.3} ms)\n",
         render(&xfer),
@@ -135,8 +131,18 @@ mod tests {
     fn timeline_strip_marks_busy_cells() {
         use eta_mem::timeline::{Span, SpanKind};
         let spans = vec![
-            Span { kind: SpanKind::CopyH2D, start: 0, end: 50, bytes: 1 },
-            Span { kind: SpanKind::Compute, start: 50, end: 100, bytes: 0 },
+            Span {
+                kind: SpanKind::CopyH2D,
+                start: 0,
+                end: 50,
+                bytes: 1,
+            },
+            Span {
+                kind: SpanKind::Compute,
+                start: 50,
+                end: 100,
+                bytes: 0,
+            },
         ];
         let strip = timeline_strip(&spans, 10);
         let lines: Vec<&str> = strip.lines().collect();

@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use eta_baselines::{ChunkStream, CushaLike, Framework, GunrockLike, TigrLike};
 use eta_graph::generate::{rmat, web, RmatConfig, WebConfig};
 use eta_graph::{analysis, io, Csr};
-use eta_sim::GpuConfig;
+use eta_sim::{Device, GpuConfig, SanitizerMode};
 use etagraph::{Algorithm, EtaConfig, RunResult, TransferMode, UdcMode};
 use serde_json::json;
 use std::fmt::Write as _;
@@ -25,10 +25,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
         Some("info") => info(&args),
         Some("run") => run(&args),
         Some("datasets") => datasets(&args),
-        Some(other) => Err(ArgError(format!(
-            "unknown command {other:?}\n{}",
-            usage()
-        ))),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}\n{}", usage()))),
         None => Err(ArgError(usage())),
     }?;
     // Reject typos and flags this command never read (a stale or wrong
@@ -45,7 +42,7 @@ pub fn usage() -> String {
      etagraph info FILE [--json]\n\
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
      \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
-     \x20            [--device-mb MB] [--trace FILE] [--json]\n\
+     \x20            [--device-mb MB] [--trace FILE] [--sanitize] [--json]\n\
      etagraph datasets [--json]"
         .to_string()
 }
@@ -96,7 +93,11 @@ fn generate(args: &Args) -> Result<Output, ArgError> {
         "wrote {out}: {} vertices, {} edges{} (suggested source: {source})",
         graph.n(),
         graph.m(),
-        if graph.is_weighted() { ", weighted" } else { "" },
+        if graph.is_weighted() {
+            ", weighted"
+        } else {
+            ""
+        },
     );
     Ok(Output {
         json: json!({
@@ -134,7 +135,11 @@ fn info(args: &Args) -> Result<Output, ArgError> {
     );
     let _ = writeln!(text, "out-degree histogram (last bucket = 9+):");
     for (d, &count) in hist.iter().enumerate() {
-        let _ = writeln!(text, "  deg {d:>2}{}: {count}", if d == 9 { "+" } else { " " });
+        let _ = writeln!(
+            text,
+            "  deg {d:>2}{}: {count}",
+            if d == 9 { "+" } else { " " }
+        );
     }
     Ok(Output {
         json: json!({
@@ -173,6 +178,32 @@ pub fn eta_config_from(args: &Args) -> Result<EtaConfig, ArgError> {
     Ok(cfg)
 }
 
+/// Builds the simulated device, with the sanitizer attached when
+/// `--sanitize` is present (full memcheck + racecheck + lint).
+fn device_from(args: &Args) -> Result<Device, ArgError> {
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    if args.switch("sanitize") {
+        gpu = gpu.with_sanitizer(SanitizerMode::Full);
+    }
+    Ok(Device::new(gpu))
+}
+
+/// Appends the sanitizer findings (if the run was sanitized) to a command's
+/// text and JSON output.
+fn attach_sanitizer(out: &mut Output, dev: &Device) {
+    if let Some(report) = dev.sanitizer_report() {
+        out.text.push('\n');
+        out.text.push_str(&report.summarize());
+        if let serde_json::Value::Object(m) = &mut out.json {
+            m.insert(
+                "sanitizer".into(),
+                serde_json::to_value(&report).unwrap_or_default(),
+            );
+        }
+    }
+}
+
 fn parse_algorithm(name: &str) -> Result<Algorithm, ArgError> {
     match name {
         "bfs" => Ok(Algorithm::Bfs),
@@ -206,13 +237,11 @@ fn run(args: &Args) -> Result<Output, ArgError> {
             g.n()
         )));
     }
-    let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let mut dev = device_from(args)?;
 
     let result: RunResult = match args.get("framework").unwrap_or("eta") {
         "eta" => {
             let cfg = eta_config_from(args)?;
-            let mut dev = eta_sim::Device::new(gpu);
             etagraph::engine::run(&mut dev, &g, source, alg, &cfg)
                 .map_err(|e| ArgError(format!("run failed: {e}")))?
         }
@@ -224,7 +253,7 @@ fn run(args: &Args) -> Result<Output, ArgError> {
                 "chunkstream" => Box::new(ChunkStream::default()),
                 other => return Err(ArgError(format!("unknown framework {other:?}"))),
             };
-            fw.run(gpu, &g, source, alg)
+            fw.run(&mut dev, &g, source, alg)
                 .map_err(|e| ArgError(format!("{name} failed: {e}")))?
         }
     };
@@ -261,7 +290,7 @@ fn run(args: &Args) -> Result<Output, ArgError> {
         result.um_stats.migrated_bytes as f64 / 1024.0,
         result.um_stats.migration_batches.len(),
     );
-    Ok(Output {
+    let mut out = Output {
         json: json!({
             "algorithm": alg.name(),
             "source": source,
@@ -274,7 +303,9 @@ fn run(args: &Args) -> Result<Output, ArgError> {
             "um": result.um_stats,
         }),
         text,
-    })
+    };
+    attach_sanitizer(&mut out, &dev);
+    Ok(out)
 }
 
 /// Batched concurrent BFS over a comma-separated source list (iBFS-style;
@@ -299,10 +330,8 @@ fn run_multi_bfs(args: &Args, g: &Csr, list: &str) -> Result<Output, ArgError> {
             return Err(ArgError(format!("--sources: vertex {s} out of range")));
         }
     }
-    let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
     let cfg = eta_config_from(args)?;
-    let mut dev = eta_sim::Device::new(gpu);
+    let mut dev = device_from(args)?;
     let r = etagraph::multi_bfs::run(&mut dev, g, &sources, &cfg)
         .map_err(|e| ArgError(format!("multi-bfs failed: {e}")))?;
     let mut text = String::new();
@@ -320,7 +349,7 @@ fn run_multi_bfs(args: &Args, g: &Csr, list: &str) -> Result<Output, ArgError> {
         let _ = writeln!(text, "  source {src:>8}: reached {visited} vertices");
         jrows.push(json!({"source": src, "visited": visited}));
     }
-    Ok(Output {
+    let mut out = Output {
         json: json!({
             "algorithm": "multi-BFS",
             "sources": jrows,
@@ -329,21 +358,25 @@ fn run_multi_bfs(args: &Args, g: &Csr, list: &str) -> Result<Output, ArgError> {
             "total_ms": r.total_ns as f64 / 1e6,
         }),
         text,
-    })
+    };
+    attach_sanitizer(&mut out, &dev);
+    Ok(out)
 }
 
 fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
-    let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
     let cfg = etagraph::pagerank::PageRankConfig {
         damping: args.get_parse("damping", 0.85f32)?,
         iterations: args.get_parse("iterations", 20)?,
         eta: eta_config_from(args)?,
     };
-    let mut dev = eta_sim::Device::new(gpu);
+    let mut dev = device_from(args)?;
     let r = etagraph::pagerank::run(&mut dev, g, &cfg)
         .map_err(|e| ArgError(format!("pagerank failed: {e}")))?;
-    let mut top: Vec<(u32, f32)> = r.ranks.iter().copied().enumerate()
+    let mut top: Vec<(u32, f32)> = r
+        .ranks
+        .iter()
+        .copied()
+        .enumerate()
         .map(|(v, rank)| (v as u32, rank))
         .collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -359,7 +392,7 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
     for &(v, rank) in top.iter().take(10) {
         let _ = writeln!(text, "  {v:>8}  {rank:.6}");
     }
-    Ok(Output {
+    let mut out = Output {
         json: json!({
             "algorithm": "PageRank",
             "iterations": r.iterations,
@@ -368,7 +401,9 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
             "top10": top.iter().take(10).map(|&(v, rank)| json!({"vertex": v, "rank": rank})).collect::<Vec<_>>(),
         }),
         text,
-    })
+    };
+    attach_sanitizer(&mut out, &dev);
+    Ok(out)
 }
 
 fn datasets(_args: &Args) -> Result<Output, ArgError> {
@@ -443,7 +478,10 @@ mod tests {
         assert!(dispatch(argv("frobnicate")).is_err());
         // Typo'd flags are named, not ignored.
         let f0 = tmpfile("typo.etag");
-        dispatch(argv(&format!("generate rmat --scale 8 --edges 2000 --out {f0}"))).unwrap();
+        dispatch(argv(&format!(
+            "generate rmat --scale 8 --edges 2000 --out {f0}"
+        )))
+        .unwrap();
         let err = dispatch(argv(&format!("run {f0} --alg bfs --sorces 0,1"))).unwrap_err();
         assert!(err.0.contains("--sorces"), "{err}");
         // A typo'd generate must fail *without* writing the file.
@@ -453,14 +491,20 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.0.contains("--sede"), "{err}");
-        assert!(!std::path::Path::new(&f1).exists(), "no side effect on error");
+        assert!(
+            !std::path::Path::new(&f1).exists(),
+            "no side effect on error"
+        );
         std::fs::remove_file(&f0).ok();
         assert!(dispatch(argv("generate rmat --out /tmp/x.etag"))
             .unwrap_err()
             .0
             .contains("--scale"));
         let f = tmpfile("unweighted.etag");
-        dispatch(argv(&format!("generate rmat --scale 8 --edges 2000 --out {f}"))).unwrap();
+        dispatch(argv(&format!(
+            "generate rmat --scale 8 --edges 2000 --out {f}"
+        )))
+        .unwrap();
         let err = dispatch(argv(&format!("run {f} --alg sssp"))).unwrap_err();
         assert!(err.0.contains("weighted"), "{err}");
         let err = dispatch(argv(&format!("run {f} --alg bfs --source 99999"))).unwrap_err();
@@ -484,7 +528,10 @@ mod tests {
     #[test]
     fn connected_components_via_cli() {
         let f = tmpfile("cc.etag");
-        dispatch(argv(&format!("generate rmat --scale 9 --edges 4000 --out {f}"))).unwrap();
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
         let out = dispatch(argv(&format!("run {f} --alg cc"))).unwrap();
         assert_eq!(out.json["algorithm"], "CC");
         // Baselines reject the extension cleanly.
@@ -496,7 +543,10 @@ mod tests {
     #[test]
     fn pagerank_via_cli() {
         let f = tmpfile("pr.etag");
-        dispatch(argv(&format!("generate rmat --scale 9 --edges 4000 --out {f}"))).unwrap();
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
         let out = dispatch(argv(&format!("run {f} --alg pagerank --iterations 5"))).unwrap();
         assert_eq!(out.json["algorithm"], "PageRank");
         assert_eq!(out.json["top10"].as_array().unwrap().len(), 10);
@@ -526,6 +576,41 @@ mod tests {
     }
 
     #[test]
+    fn sanitize_flag_reports_per_run_mode() {
+        let f = tmpfile("sanitize.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
+        // Sanitized EtaGraph run: report present and clean.
+        let out = dispatch(argv(&format!("run {f} --alg bfs --sanitize"))).unwrap();
+        assert!(out.text.contains("sanitizer (full)"), "{}", out.text);
+        assert_eq!(out.json["sanitizer"]["errors"].as_array().unwrap().len(), 0);
+        assert!(out.json["sanitizer"]["launches"].as_u64().unwrap() > 0);
+        // Baselines run sanitized through the same flag.
+        let tigr = dispatch(argv(&format!(
+            "run {f} --alg bfs --framework tigr --sanitize"
+        )))
+        .unwrap();
+        assert_eq!(
+            tigr.json["sanitizer"]["errors"].as_array().unwrap().len(),
+            0
+        );
+        // PageRank and multi-BFS paths carry the report too.
+        let pr = dispatch(argv(&format!(
+            "run {f} --alg pagerank --iterations 3 --sanitize"
+        )))
+        .unwrap();
+        assert!(pr.json["sanitizer"]["launches"].as_u64().unwrap() > 0);
+        let multi = dispatch(argv(&format!("run {f} --sources 0,1 --sanitize"))).unwrap();
+        assert!(multi.json["sanitizer"]["launches"].as_u64().unwrap() > 0);
+        // Without the flag, no report is attached.
+        let plain = dispatch(argv(&format!("run {f} --alg bfs"))).unwrap();
+        assert!(plain.json["sanitizer"].is_null());
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
     fn datasets_lists_the_suite() {
         let out = dispatch(argv("datasets")).unwrap();
         assert_eq!(out.json.as_array().unwrap().len(), 7);
@@ -535,10 +620,14 @@ mod tests {
     #[test]
     fn device_oom_is_reported() {
         let f = tmpfile("oom.etag");
-        dispatch(argv(&format!("generate rmat --scale 12 --edges 80000 --out {f}"))).unwrap();
-        let err =
-            dispatch(argv(&format!("run {f} --alg bfs --framework cusha --device-mb 1")))
-                .unwrap_err();
+        dispatch(argv(&format!(
+            "generate rmat --scale 12 --edges 80000 --out {f}"
+        )))
+        .unwrap();
+        let err = dispatch(argv(&format!(
+            "run {f} --alg bfs --framework cusha --device-mb 1"
+        )))
+        .unwrap_err();
         assert!(err.0.contains("O.O.M"), "{err}");
         std::fs::remove_file(&f).ok();
     }

@@ -145,7 +145,7 @@ mod tests {
         let g = small_graph();
         let (_, end) = DeviceGraph::upload(&mut dev, &g, TransferMode::ExplicitCopy, 0).unwrap();
         assert!(end > 0, "memcpy takes time");
-        assert!(dev.mem.pcie.bytes_moved() as u64 >= g.topology_bytes());
+        assert!(dev.mem.pcie.bytes_moved() >= g.topology_bytes());
 
         let mut tiny = Device::new(GpuConfig::gtx1080ti_scaled(1024));
         let err = DeviceGraph::upload(&mut tiny, &g, TransferMode::ExplicitCopy, 0);
@@ -177,10 +177,7 @@ mod tests {
         let mut dev = Device::new(GpuConfig::default_preset());
         let g = small_graph();
         let (dg, _) = DeviceGraph::upload(&mut dev, &g, TransferMode::ExplicitCopy, 0).unwrap();
-        assert_eq!(
-            dev.mem.host_read(dg.row_offsets, 0, 5),
-            &g.row_offsets[..5]
-        );
+        assert_eq!(dev.mem.host_read(dg.row_offsets, 0, 5), &g.row_offsets[..5]);
         assert_eq!(dev.mem.host_read(dg.col_idx, 0, 5), &g.col_idx[..5]);
     }
 }

@@ -214,7 +214,11 @@ pub fn run_query(
     } = res;
     let (labels, tags) = (*labels, *tags);
     let (full, partial) = (*full, *partial);
-    let pull = if alg == Algorithm::Bfs { pull.as_ref() } else { None };
+    let pull = if alg == Algorithm::Bfs {
+        pull.as_ref()
+    } else {
+        None
+    };
 
     // "Init label and transfer to GPU": one |V|-word copy each for labels
     // and tags. Connected components is all-active: every vertex seeds the
@@ -337,7 +341,11 @@ pub fn run_query(
                     len,
                     col_idx: dg.col_idx,
                     // BFS ignores weights even on a weighted graph.
-                    weights: if alg.needs_weights() { dg.weights } else { None },
+                    weights: if alg.needs_weights() {
+                        dg.weights
+                    } else {
+                        None
+                    },
                     labels,
                     tags,
                     next: *next,

@@ -65,14 +65,7 @@ impl TraversalKernel {
 
     /// Processes one batch of per-lane neighbors (and weights), relaxing
     /// labels and pushing improved vertices.
-    fn relax_row(
-        &self,
-        w: &mut WarpCtx<'_>,
-        dst: &Lanes,
-        wt: &Lanes,
-        my: &Lanes,
-        row_mask: u32,
-    ) {
+    fn relax_row(&self, w: &mut WarpCtx<'_>, dst: &Lanes, wt: &Lanes, my: &Lanes, row_mask: u32) {
         let mut new = [0u32; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if (row_mask >> lane) & 1 == 1 {
@@ -333,7 +326,11 @@ impl Kernel for PullBfsKernel {
             return;
         }
         let levels = [self.iter; WARP_SIZE];
-        w.store(self.labels, &tids, &levels, found);
+        // Other warps of this launch concurrently read `labels` looking for
+        // parents, so the update must be atomic to be race-free. min is the
+        // identity store here: a found lane's label is still u32::MAX, and
+        // no other writer touches it this iteration (tids are disjoint).
+        w.atomic_min(self.labels, &tids, &levels, found);
         let pos = w.atomic_add(self.next.count, &[0; WARP_SIZE], &[1; WARP_SIZE], found);
         w.store(self.next.items, &pos, &tids, found);
     }

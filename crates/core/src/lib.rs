@@ -79,7 +79,12 @@ impl<'g> EtaGraph<'g> {
     }
 
     /// Runs and also hands back the device for metric inspection.
-    pub fn run_on(&self, dev: &mut Device, alg: Algorithm, source: u32) -> Result<RunResult, MemError> {
+    pub fn run_on(
+        &self,
+        dev: &mut Device,
+        alg: Algorithm,
+        source: u32,
+    ) -> Result<RunResult, MemError> {
         engine::run(dev, self.graph, source, alg, &self.cfg)
     }
 }

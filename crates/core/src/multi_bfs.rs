@@ -215,10 +215,14 @@ pub fn run(
     }
     now = dev.mem.copy_h2d(fresh, 0, &fresh_init, now);
     now = dev.mem.copy_h2d(joint, 0, &fresh_init, now);
-    now = dev.mem.copy_h2d(next_fresh, 0, &vec![0u32; n as usize], now);
+    now = dev
+        .mem
+        .copy_h2d(next_fresh, 0, &vec![0u32; n as usize], now);
     now = dev.mem.copy_h2d(levels, 0, &level_init, now);
     act.host_seed(dev, &seed_vertices);
-    now = dev.mem.copy_h2d(act.count, 0, &[seed_vertices.len() as u32], now);
+    now = dev
+        .mem
+        .copy_h2d(act.count, 0, &[seed_vertices.len() as u32], now);
     dg.prefetch(dev, now);
 
     let mut queues = (act, next);
@@ -362,8 +366,14 @@ mod tests {
         let mut sequential_kernel_ns = 0u64;
         for &src in &sources {
             let mut dev = device();
-            let r = crate::engine::run(&mut dev, &g, src, crate::Algorithm::Bfs, &EtaConfig::paper())
-                .unwrap();
+            let r = crate::engine::run(
+                &mut dev,
+                &g,
+                src,
+                crate::Algorithm::Bfs,
+                &EtaConfig::paper(),
+            )
+            .unwrap();
             sequential_gld += r.metrics.l1_requests;
             sequential_kernel_ns += r.kernel_ns;
         }

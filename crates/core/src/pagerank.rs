@@ -332,18 +332,20 @@ pub fn run(dev: &mut Device, csr: &Csr, cfg: &PageRankConfig) -> Result<PageRank
 
     let init = vec![(1.0f32 / n as f32).to_bits(); n as usize];
     now = dev.mem.copy_h2d(ranks, 0, &init, now);
-    now = dev.mem.copy_h2d(next_ranks, 0, &vec![0f32.to_bits(); n as usize], now);
+    now = dev
+        .mem
+        .copy_h2d(next_ranks, 0, &vec![0f32.to_bits(); n as usize], now);
     now = queue.reset(dev, now);
     dg.prefetch(dev, now);
 
     let mut metrics = KernelMetrics::default();
     let mut kernel_ns = 0u64;
     let launch = |dev: &mut Device,
-                      kern: &dyn Kernel,
-                      items: u32,
-                      now: Ns,
-                      metrics: &mut KernelMetrics,
-                      kernel_ns: &mut u64|
+                  kern: &dyn Kernel,
+                  items: u32,
+                  now: Ns,
+                  metrics: &mut KernelMetrics,
+                  kernel_ns: &mut u64|
      -> Ns {
         let r = dev.launch(kern, LaunchConfig::for_items(items, tpb), now);
         metrics.merge(&r.metrics);
@@ -423,8 +425,8 @@ pub fn run(dev: &mut Device, csr: &Csr, cfg: &PageRankConfig) -> Result<PageRank
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eta_graph::generate::{rmat, RmatConfig};
     use crate::config::TransferMode;
+    use eta_graph::generate::{rmat, RmatConfig};
     use eta_graph::reference;
     use eta_sim::GpuConfig;
 
@@ -455,8 +457,10 @@ mod tests {
     #[test]
     fn smp_does_not_change_ranks_but_cuts_transactions() {
         let g = rmat(&RmatConfig::paper(12, 120_000, 8));
-        let mut with_cfg = PageRankConfig::default();
-        with_cfg.iterations = 5;
+        let with_cfg = PageRankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         let mut without_cfg = with_cfg;
         without_cfg.eta.smp = false;
 

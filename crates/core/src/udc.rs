@@ -192,7 +192,14 @@ pub struct ActToVirtKernel {
 }
 
 impl ActToVirtKernel {
-    pub fn new(act: &DeviceQueue, act_len: u32, row_offsets: DSlice, full: &VirtualQueue, partial: &VirtualQueue, k: u32) -> Self {
+    pub fn new(
+        act: &DeviceQueue,
+        act_len: u32,
+        row_offsets: DSlice,
+        full: &VirtualQueue,
+        partial: &VirtualQueue,
+        k: u32,
+    ) -> Self {
         ActToVirtKernel {
             act_items: act.items,
             act_len,
@@ -272,7 +279,12 @@ impl Kernel for ActToVirtKernel {
 
         // Tail slices (< K edges) go to the partial queue.
         if tail_mask != 0 {
-            let pos = w.atomic_add(self.partial.count, &[0; WARP_SIZE], &[1; WARP_SIZE], tail_mask);
+            let pos = w.atomic_add(
+                self.partial.count,
+                &[0; WARP_SIZE],
+                &[1; WARP_SIZE],
+                tail_mask,
+            );
             let mut s = [0u32; WARP_SIZE];
             let mut e = [0u32; WARP_SIZE];
             for lane in 0..WARP_SIZE {
@@ -316,10 +328,7 @@ mod tests {
     fn shadow_count_matches_slices() {
         for deg in 0..50u32 {
             for k in 1..10u32 {
-                assert_eq!(
-                    shadow_count(deg, k),
-                    shadow_slices(0, deg, k).len() as u32
-                );
+                assert_eq!(shadow_count(deg, k), shadow_slices(0, deg, k).len() as u32);
             }
         }
     }

@@ -61,7 +61,10 @@ impl Csr {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> u32 {
-        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average out-degree.
@@ -99,7 +102,10 @@ impl Csr {
     fn from_weighted_edges_impl(n: usize, edges: &[(u32, u32)], weights: Option<&[u32]>) -> Csr {
         assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
         for &(s, d) in edges {
-            assert!((s as usize) < n && (d as usize) < n, "edge endpoint out of range");
+            assert!(
+                (s as usize) < n && (d as usize) < n,
+                "edge endpoint out of range"
+            );
         }
         // Sort edge indices by (src, dst) — in parallel, this dominates
         // construction for multi-million-edge graphs — then dedup. The

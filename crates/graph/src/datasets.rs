@@ -39,7 +39,9 @@ pub struct Dataset {
 impl Dataset {
     /// A weighted copy of the topology (deterministic per dataset).
     pub fn weighted(&self) -> Csr {
-        self.csr.clone().with_random_weights(self.seed ^ 0x77, MAX_WEIGHT)
+        self.csr
+            .clone()
+            .with_random_weights(self.seed ^ 0x77, MAX_WEIGHT)
     }
 }
 
@@ -178,7 +180,11 @@ mod tests {
         let w = d.weighted();
         assert_eq!(w.row_offsets, d.csr.row_offsets);
         assert_eq!(w.col_idx, d.csr.col_idx);
-        assert!(w.weights.unwrap().iter().all(|&x| (1..=MAX_WEIGHT).contains(&x)));
+        assert!(w
+            .weights
+            .unwrap()
+            .iter()
+            .all(|&x| (1..=MAX_WEIGHT).contains(&x)));
     }
 
     #[test]
@@ -206,10 +212,7 @@ mod tests {
     fn uk2006_source_island_activation_is_tiny() {
         let d = build("uk2006");
         let frac = analysis::activation_fraction(&d.csr, d.source);
-        assert!(
-            frac < 5e-4,
-            "uk2006 activation must be ~1e-4, got {frac}"
-        );
+        assert!(frac < 5e-4, "uk2006 activation must be ~1e-4, got {frac}");
         // And the big graph is mostly one component.
         let c = analysis::components(&d.csr);
         assert!(c.lcc_fraction > 0.6 && c.lcc_fraction < 0.8);

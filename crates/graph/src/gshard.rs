@@ -70,11 +70,7 @@ impl GShards {
             }
         }
         // Iterating vertices in order makes each shard's src already sorted.
-        GShards {
-            shards,
-            n,
-            window,
-        }
+        GShards { shards, n, window }
     }
 
     /// CuSha's default window for a 48 KiB shared-memory budget.
@@ -89,9 +85,7 @@ impl GShards {
         let edge_words: u64 = self
             .shards
             .iter()
-            .map(|s| {
-                (s.src.len() + s.dst.len() + s.weights.as_ref().map_or(0, Vec::len)) as u64
-            })
+            .map(|s| (s.src.len() + s.dst.len() + s.weights.as_ref().map_or(0, Vec::len)) as u64)
             .sum();
         let index_words = self.shards.len() as u64 * 2; // offsets + window bounds
         (edge_words + index_words) * 4

@@ -118,7 +118,11 @@ pub fn parse_edge_list(text: &str, n_hint: Option<usize>) -> Result<Csr, String>
         max_v = max_v.max(s).max(d);
         edges.push((s, d, w));
     }
-    let n = n_hint.unwrap_or(if edges.is_empty() { 0 } else { max_v as usize + 1 });
+    let n = n_hint.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    });
     if weighted {
         Ok(Csr::from_weighted_edges(n, &edges))
     } else {

@@ -169,13 +169,7 @@ mod tests {
     fn diamond() -> Csr {
         Csr::from_weighted_edges(
             5,
-            &[
-                (0, 1, 2),
-                (0, 2, 10),
-                (1, 3, 2),
-                (2, 3, 10),
-                (3, 4, 1),
-            ],
+            &[(0, 1, 2), (0, 2, 10), (1, 3, 2), (2, 3, 10), (3, 4, 1)],
         )
     }
 

@@ -79,7 +79,10 @@ impl DSlice {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
     /// Device memory exhausted (the paper's "O.O.M").
-    Oom { requested_bytes: u64, free_bytes: u64 },
+    Oom {
+        requested_bytes: u64,
+        free_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -105,6 +108,49 @@ struct Region {
     len_words: u64,
 }
 
+/// Per-word initialization bitmap: the memcheck shadow state.
+///
+/// One bit per device word, grown lazily. A word becomes initialized when
+/// the host writes it (`host_write`/`host_fill`/`copy_h2d`) or a kernel
+/// stores to it (`set_word`); allocation alone does not initialize — the
+/// backing `Vec` is zeroed, but reading that zero is exactly the bug class
+/// `compute-sanitizer --tool initcheck` exists to catch.
+#[derive(Debug, Default)]
+struct InitShadow {
+    bits: Vec<u64>,
+}
+
+impl InitShadow {
+    #[inline]
+    fn mark(&mut self, addr: u64) {
+        let w = (addr / 64) as usize;
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << (addr % 64);
+    }
+
+    fn mark_range(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len - 1;
+        let last_word = (end / 64) as usize;
+        if last_word >= self.bits.len() {
+            self.bits.resize(last_word + 1, 0);
+        }
+        for addr in start..=end {
+            self.bits[(addr / 64) as usize] |= 1 << (addr % 64);
+        }
+    }
+
+    #[inline]
+    fn is_init(&self, addr: u64) -> bool {
+        let w = (addr / 64) as usize;
+        w < self.bits.len() && (self.bits[w] >> (addr % 64)) & 1 == 1
+    }
+}
+
 /// The device memory system.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -118,6 +164,8 @@ pub struct MemSystem {
     pub um: UmDriver,
     /// Bytes accessed through zero-copy regions (always cross the link).
     pub zero_copy_bytes: u64,
+    /// Memcheck shadow state; `None` unless a sanitizer enabled it.
+    shadow: Option<InitShadow>,
 }
 
 impl MemSystem {
@@ -130,6 +178,29 @@ impl MemSystem {
             pcie,
             um: UmDriver::new(),
             zero_copy_bytes: 0,
+            shadow: None,
+        }
+    }
+
+    /// Turns on per-word initialization tracking. Call before any data is
+    /// written: words written earlier are treated as uninitialized.
+    pub fn enable_init_tracking(&mut self) {
+        if self.shadow.is_none() {
+            self.shadow = Some(InitShadow::default());
+        }
+    }
+
+    pub fn init_tracking_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Whether `addr` has been written since tracking was enabled. Always
+    /// `true` when tracking is off, so callers need no mode check.
+    #[inline]
+    pub fn is_word_init(&self, addr: u64) -> bool {
+        match &self.shadow {
+            Some(s) => s.is_init(addr),
+            None => true,
         }
     }
 
@@ -232,6 +303,9 @@ impl MemSystem {
         assert!(offset + data.len() as u64 <= slice.len, "host_write OOB");
         let start = (slice.word_off + offset) as usize;
         self.words[start..start + data.len()].copy_from_slice(data);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark_range(slice.word_off + offset, data.len() as u64);
+        }
     }
 
     pub fn host_read(&self, slice: DSlice, offset: u64, len: u64) -> &[u32] {
@@ -244,6 +318,9 @@ impl MemSystem {
     pub fn host_fill(&mut self, slice: DSlice, value: u32) {
         let start = slice.word_off as usize;
         self.words[start..start + slice.len as usize].fill(value);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark_range(slice.word_off, slice.len);
+        }
     }
 
     // ---- timed transfers ---------------------------------------------------
@@ -286,6 +363,9 @@ impl MemSystem {
     #[inline]
     pub fn set_word(&mut self, addr: u64, value: u32) {
         self.words[addr as usize] = value;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark(addr);
+        }
     }
 
     /// Residency handling for a warp access: given the unique sectors the
@@ -426,6 +506,42 @@ mod tests {
         let mut m = system(1 << 20);
         let a = m.alloc_explicit(10).unwrap();
         let _ = a.slice(5, 6);
+    }
+
+    #[test]
+    fn init_tracking_off_reports_everything_initialized() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(16).unwrap();
+        assert!(!m.init_tracking_enabled());
+        assert!(m.is_word_init(a.addr(0)), "no tracking: always init");
+    }
+
+    #[test]
+    fn init_tracking_follows_writes() {
+        let mut m = system(1 << 20);
+        m.enable_init_tracking();
+        let a = m.alloc_explicit(256).unwrap();
+        assert!(!m.is_word_init(a.addr(0)), "fresh allocation is uninit");
+        m.host_write(a, 4, &[1, 2, 3]);
+        assert!(!m.is_word_init(a.addr(3)));
+        assert!(m.is_word_init(a.addr(4)));
+        assert!(m.is_word_init(a.addr(6)));
+        assert!(!m.is_word_init(a.addr(7)));
+        m.set_word(a.addr(100), 9);
+        assert!(m.is_word_init(a.addr(100)));
+        m.host_fill(a, 0);
+        assert!(m.is_word_init(a.addr(255)), "fill initializes the slice");
+    }
+
+    #[test]
+    fn init_tracking_copy_h2d_marks_words() {
+        let mut m = system(1 << 20);
+        m.enable_init_tracking();
+        let a = m.alloc_explicit(64).unwrap();
+        m.copy_h2d(a, 8, &[5; 8], 0);
+        assert!(m.is_word_init(a.addr(8)));
+        assert!(m.is_word_init(a.addr(15)));
+        assert!(!m.is_word_init(a.addr(16)));
     }
 
     #[test]

@@ -529,12 +529,12 @@ mod tests {
         let (mut d, r) = driver_with_region(16);
         let mut l = link();
         d.touch_pages(r, &[0], 0, u64::MAX, &mut l); // whole group resident
-        // Evict exactly page 3 by hand via invalidate + selective re-touch is
-        // impossible through the public API, so emulate the state: touch a
-        // fresh driver where only page 3 is missing.
+                                                     // Evict exactly page 3 by hand via invalidate + selective re-touch is
+                                                     // impossible through the public API, so emulate the state: touch a
+                                                     // fresh driver where only page 3 is missing.
         d.invalidate_all();
         d.touch_pages(r, &[0], 0, u64::MAX, &mut l); // group resident again
-        // Now all 16 pages are resident; nothing to migrate.
+                                                     // Now all 16 pages are resident; nothing to migrate.
         d.stats.migration_batches.clear();
         d.touch_pages(r, &[3], 0, u64::MAX, &mut l);
         assert!(d.stats.migration_batches.is_empty());

@@ -226,8 +226,8 @@ mod tests {
         let n = 10_000;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         for_each_chunk(n, |a, b| {
-            for i in a..b {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[a..b] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

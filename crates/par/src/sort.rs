@@ -58,8 +58,10 @@ where
             } else {
                 (&aux, data)
             };
-            // Carve `to` into per-pair output regions.
-            let mut regions: Vec<(&mut [T], (usize, usize), Option<(usize, usize)>)> = Vec::new();
+            // Carve `to` into per-pair output regions: the output slab and
+            // the (up to two) input runs merged into it.
+            type MergeRegion<'a, T> = (&'a mut [T], (usize, usize), Option<(usize, usize)>);
+            let mut regions: Vec<MergeRegion<'_, T>> = Vec::new();
             let mut rest = to;
             let mut offset = 0;
             let mut i = 0;

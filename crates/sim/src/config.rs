@@ -7,6 +7,7 @@
 //! (DESIGN.md), so that the O.O.M boundaries of Table III fall between the
 //! same dataset pairs as in the paper.
 
+use crate::sanitizer::SanitizerMode;
 use eta_mem::cache::CacheConfig;
 
 /// Number of lanes in a warp. Fixed at compile time for the simulator.
@@ -51,6 +52,8 @@ pub struct GpuConfig {
     pub pcie_latency_ns: u64,
     /// Cap on the memory-latency-hiding factor from warp switching.
     pub hiding_cap: usize,
+    /// Which sanitizer analyses instrument kernel accesses (default off).
+    pub sanitizer: SanitizerMode,
 }
 
 impl GpuConfig {
@@ -97,7 +100,14 @@ impl GpuConfig {
             // kernel-side effect the paper measures.
             pcie_latency_ns: 1_000,
             hiding_cap: 24,
+            sanitizer: SanitizerMode::Off,
         }
+    }
+
+    /// The same preset with a sanitizer attached.
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
+        self
     }
 
     /// Device memory used by the scaled evaluation.

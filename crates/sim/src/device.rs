@@ -35,6 +35,7 @@
 use crate::config::GpuConfig;
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::metrics::KernelMetrics;
+use crate::sanitizer::{Sanitizer, SanitizerReport};
 use eta_mem::cache::Cache;
 use eta_mem::pcie::PcieLink;
 use eta_mem::system::MemSystem;
@@ -49,6 +50,8 @@ pub struct Device {
     l2: Cache,
     /// Compute spans recorded by launches (transfer spans live on the link).
     pub compute_timeline: Timeline,
+    /// Attached when `cfg.sanitizer` enables any analysis.
+    sanitizer: Option<Sanitizer>,
 }
 
 /// Outcome of one kernel launch.
@@ -62,13 +65,28 @@ pub struct LaunchResult {
 impl Device {
     pub fn new(cfg: GpuConfig) -> Self {
         let pcie = PcieLink::new(cfg.pcie_bandwidth_gb_s, cfg.pcie_latency_ns);
+        let mut mem = MemSystem::new(cfg.device_mem_bytes, pcie);
+        let sanitizer = if cfg.sanitizer.enabled() {
+            if cfg.sanitizer.memcheck() {
+                mem.enable_init_tracking();
+            }
+            Some(Sanitizer::new(cfg.sanitizer))
+        } else {
+            None
+        };
         Device {
             cfg,
-            mem: MemSystem::new(cfg.device_mem_bytes, pcie),
+            mem,
             l1: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect(),
             l2: Cache::new(cfg.l2),
             compute_timeline: Timeline::new(),
+            sanitizer,
         }
+    }
+
+    /// The sanitizer's findings so far; `None` when no sanitizer is attached.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
     }
 
     /// Full transfer+compute timeline (PCIe spans + compute spans).
@@ -134,8 +152,7 @@ impl Device {
         // roughly one instruction per *SM* reaches the shared L2 (the other
         // co-resident warps' traffic is already serialized through the same
         // L2 instance by this simulator). Bounded by the grid's actual size.
-        let total_warps =
-            launch.blocks as u64 * (launch.threads_per_block as u64).div_ceil(32);
+        let total_warps = launch.blocks as u64 * (launch.threads_per_block as u64).div_ceil(32);
         let l2_interleave = (self.cfg.num_sms as u64).min(total_warps).max(1);
         let warps_per_block = (launch.threads_per_block as u64).div_ceil(32) as u32;
 
@@ -149,6 +166,9 @@ impl Device {
         let mut sm_stall = vec![0u64; self.cfg.num_sms];
         let mut shared = vec![0u32; shared_words as usize];
 
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.begin_launch(kernel.name());
+        }
         for block in 0..launch.blocks {
             let sm = (block as usize) % self.cfg.num_sms;
             shared.fill(0);
@@ -168,6 +188,7 @@ impl Device {
                     occupancy,
                     l2_interleave,
                     start_ns,
+                    self.sanitizer.as_mut(),
                 );
                 let mut ctx = ctx;
                 kernel.run(&mut ctx);
@@ -175,6 +196,9 @@ impl Device {
                 sm_instr[sm] += instr;
                 sm_stall[sm] += stall;
             }
+        }
+        if let Some(san) = self.sanitizer.as_mut() {
+            san.end_launch();
         }
 
         // Warp-accumulated counters are already in `metrics`; derive bytes.
@@ -272,8 +296,7 @@ mod tests {
         let n = 10_000u32;
         let input = dev.mem.alloc_explicit(n as u64).unwrap();
         let output = dev.mem.alloc_explicit(n as u64).unwrap();
-        dev.mem
-            .host_write(input, 0, &(0..n).collect::<Vec<u32>>());
+        dev.mem.host_write(input, 0, &(0..n).collect::<Vec<u32>>());
         let k = DoubleKernel { input, output, n };
         let r = dev.launch(&k, grid(n, 256), 0);
         assert!(r.end_ns > 0);
@@ -333,13 +356,29 @@ mod tests {
             let n = 16_384u32;
             let i = dev.mem.alloc_explicit(n as u64).unwrap();
             let o = dev.mem.alloc_explicit(n as u64).unwrap();
-            dev.launch(&DoubleKernel { input: i, output: o, n }, grid(n, 256), 0)
+            dev.launch(
+                &DoubleKernel {
+                    input: i,
+                    output: o,
+                    n,
+                },
+                grid(n, 256),
+                0,
+            )
         };
         let big = {
             let n = 262_144u32;
             let i = dev.mem.alloc_explicit(n as u64).unwrap();
             let o = dev.mem.alloc_explicit(n as u64).unwrap();
-            dev.launch(&DoubleKernel { input: i, output: o, n }, grid(n, 256), 0)
+            dev.launch(
+                &DoubleKernel {
+                    input: i,
+                    output: o,
+                    n,
+                },
+                grid(n, 256),
+                0,
+            )
         };
         assert!(
             big.metrics.cycles > 4 * medium.metrics.cycles,

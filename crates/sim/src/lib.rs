@@ -18,10 +18,14 @@ pub mod config;
 pub mod device;
 pub mod kernel;
 pub mod metrics;
+pub mod sanitizer;
 pub mod warp;
 
 pub use config::{GpuConfig, WARP_SIZE};
 pub use device::{Device, LaunchResult};
 pub use kernel::{Kernel, LaunchConfig};
 pub use metrics::KernelMetrics;
+pub use sanitizer::{
+    Finding, FindingKind, KernelLintStats, Sanitizer, SanitizerMode, SanitizerReport, Severity,
+};
 pub use warp::{Lanes, WarpCtx, WarpId, FULL_MASK};

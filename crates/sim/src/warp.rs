@@ -21,6 +21,7 @@
 
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::metrics::KernelMetrics;
+use crate::sanitizer::{AccessKind, Sanitizer};
 use eta_mem::cache::Cache;
 use eta_mem::coalesce::sectors_for_warp;
 use eta_mem::system::{DSlice, MemSystem, RegionKind};
@@ -70,6 +71,8 @@ pub struct WarpCtx<'a> {
     data_ready_ns: Ns,
     sector_scratch: Vec<u64>,
     addr_scratch: [u64; WARP_SIZE],
+    /// Sanitizer sink; `None` unless the device was built with one attached.
+    san: Option<&'a mut Sanitizer>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -84,6 +87,7 @@ impl<'a> WarpCtx<'a> {
         interleave: u64,
         l2_interleave: u64,
         start_ns: Ns,
+        san: Option<&'a mut Sanitizer>,
     ) -> Self {
         WarpCtx {
             cfg,
@@ -108,6 +112,7 @@ impl<'a> WarpCtx<'a> {
             data_ready_ns: start_ns,
             sector_scratch: Vec::with_capacity(WARP_SIZE),
             addr_scratch: [0; WARP_SIZE],
+            san,
         }
     }
 
@@ -169,8 +174,21 @@ impl<'a> WarpCtx<'a> {
     // ---- global memory ---------------------------------------------------
 
     /// Resolves active lanes' element indices to word addresses, coalesces
-    /// them and runs the cache/UM pipeline. Returns the worst sector latency.
-    fn access(&mut self, s: DSlice, idx: &Lanes, mask: u32, op: AccessOp, burst: bool) -> u64 {
+    /// them and runs the cache/UM pipeline. Returns the effective lane mask
+    /// (the sanitizer drops out-of-bounds lanes, report-and-continue, where
+    /// `DSlice::addr` would otherwise panic) and the worst sector latency.
+    fn access(
+        &mut self,
+        s: DSlice,
+        idx: &Lanes,
+        mask: u32,
+        op: AccessOp,
+        burst: bool,
+    ) -> (u32, u64) {
+        let mask = match self.san.as_deref_mut() {
+            Some(san) => san.pre_access(self.id, s, idx, mask),
+            None => mask,
+        };
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
                 self.addr_scratch[lane] = s.addr(idx[lane] as u64);
@@ -191,10 +209,22 @@ impl<'a> WarpCtx<'a> {
             }
         }
         sectors_for_warp(&self.addr_scratch, mask, &mut self.sector_scratch);
-        if self.sector_scratch.is_empty() {
-            return 0;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.global_access(
+                self.id,
+                op.kind(),
+                s,
+                idx,
+                mask,
+                self.sector_scratch.len() as u64,
+                self.mem,
+            );
         }
-        self.probe_scratch_sectors(s, op, burst)
+        if self.sector_scratch.is_empty() {
+            return (mask, 0);
+        }
+        let worst = self.probe_scratch_sectors(s, op, burst);
+        (mask, worst)
     }
 
     /// Runs the UM/cache pipeline over the sectors currently in
@@ -263,7 +293,7 @@ impl<'a> WarpCtx<'a> {
     /// One warp load instruction: `out[lane] = s[idx[lane]]` for active lanes.
     pub fn load(&mut self, s: DSlice, idx: &Lanes, mask: u32) -> Lanes {
         self.instructions += 1;
-        let worst = self.access(s, idx, mask, AccessOp::Load, false);
+        let (mask, worst) = self.access(s, idx, mask, AccessOp::Load, false);
         self.stall += worst;
         let mut out = [0u32; WARP_SIZE];
         for lane in 0..WARP_SIZE {
@@ -277,7 +307,7 @@ impl<'a> WarpCtx<'a> {
     /// One warp store instruction: `s[idx[lane]] = vals[lane]`.
     pub fn store(&mut self, s: DSlice, idx: &Lanes, vals: &Lanes, mask: u32) {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Store, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Store, false);
         // Stores retire through the write queue; charge issue cost only.
         self.stall += self.cfg.burst_issue;
         for lane in 0..WARP_SIZE {
@@ -306,6 +336,14 @@ impl<'a> WarpCtx<'a> {
     /// interleaving clock advances only by the burst's own insertions so
     /// sector reuse inside the burst survives.
     pub fn load_burst(&mut self, s: DSlice, start: &Lanes, count: &Lanes, mask: u32) -> Vec<Lanes> {
+        let mask = match self.san.as_deref_mut() {
+            Some(san) => {
+                let ok = san.pre_burst(self.id, s, start, count, mask);
+                san.burst_access(self.id, s, start, count, ok, self.mem);
+                ok
+            }
+            None => mask,
+        };
         let rows = (0..WARP_SIZE)
             .filter(|&l| (mask >> l) & 1 == 1)
             .map(|l| count[l])
@@ -352,7 +390,7 @@ impl<'a> WarpCtx<'a> {
     /// Lanes apply in lane order, so same-address adds see prior lanes.
     pub fn atomic_add(&mut self, s: DSlice, idx: &Lanes, delta: &Lanes, mask: u32) -> Lanes {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Atomic, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Atomic, false);
         let active = mask.count_ones() as u64;
         self.stall += self.cfg.l2_latency + active * self.cfg.atomic_serialize;
         self.atomics += active;
@@ -371,7 +409,7 @@ impl<'a> WarpCtx<'a> {
     /// Lane-serialized atomic min at L2: returns each lane's old value.
     pub fn atomic_min(&mut self, s: DSlice, idx: &Lanes, val: &Lanes, mask: u32) -> Lanes {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Atomic, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Atomic, false);
         let active = mask.count_ones() as u64;
         self.stall += self.cfg.l2_latency + active * self.cfg.atomic_serialize;
         self.atomics += active;
@@ -394,7 +432,7 @@ impl<'a> WarpCtx<'a> {
     /// values; lanes apply in lane order.
     pub fn atomic_or(&mut self, s: DSlice, idx: &Lanes, val: &Lanes, mask: u32) -> Lanes {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Atomic, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Atomic, false);
         let active = mask.count_ones() as u64;
         self.stall += self.cfg.l2_latency + active * self.cfg.atomic_serialize;
         self.atomics += active;
@@ -413,9 +451,15 @@ impl<'a> WarpCtx<'a> {
     /// Lane-serialized atomic float add at L2 (`atomicAdd(float*)`),
     /// interpreting the device words as IEEE-754 `f32` bits. Used by
     /// accumulation workloads (PageRank's rank scatter). Returns old values.
-    pub fn atomic_add_f32(&mut self, s: DSlice, idx: &Lanes, val: &[f32; WARP_SIZE], mask: u32) -> [f32; WARP_SIZE] {
+    pub fn atomic_add_f32(
+        &mut self,
+        s: DSlice,
+        idx: &Lanes,
+        val: &[f32; WARP_SIZE],
+        mask: u32,
+    ) -> [f32; WARP_SIZE] {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Atomic, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Atomic, false);
         let active = mask.count_ones() as u64;
         self.stall += self.cfg.l2_latency + active * self.cfg.atomic_serialize;
         self.atomics += active;
@@ -434,7 +478,7 @@ impl<'a> WarpCtx<'a> {
     /// Lane-serialized atomic max at L2 (SSWP's widest-path update).
     pub fn atomic_max(&mut self, s: DSlice, idx: &Lanes, val: &Lanes, mask: u32) -> Lanes {
         self.instructions += 1;
-        self.access(s, idx, mask, AccessOp::Atomic, false);
+        let (mask, _) = self.access(s, idx, mask, AccessOp::Atomic, false);
         let active = mask.count_ones() as u64;
         self.stall += self.cfg.l2_latency + active * self.cfg.atomic_serialize;
         self.atomics += active;
@@ -459,6 +503,10 @@ impl<'a> WarpCtx<'a> {
         self.instructions += 1;
         self.shared_accesses += 1;
         self.stall += self.cfg.shared_latency;
+        let mask = match self.san.as_deref_mut() {
+            Some(san) => san.shared_access(self.id, AccessKind::Load, self.shared.len(), idx, mask),
+            None => mask,
+        };
         let mut out = [0u32; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
@@ -473,6 +521,12 @@ impl<'a> WarpCtx<'a> {
         self.instructions += 1;
         self.shared_accesses += 1;
         self.stall += self.cfg.shared_latency;
+        let mask = match self.san.as_deref_mut() {
+            Some(san) => {
+                san.shared_access(self.id, AccessKind::Store, self.shared.len(), idx, mask)
+            }
+            None => mask,
+        };
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
                 self.shared[idx[lane] as usize] = vals[lane];
@@ -486,6 +540,16 @@ enum AccessOp {
     Load,
     Store,
     Atomic,
+}
+
+impl AccessOp {
+    fn kind(self) -> AccessKind {
+        match self {
+            AccessOp::Load => AccessKind::Load,
+            AccessOp::Store => AccessKind::Store,
+            AccessOp::Atomic => AccessKind::Atomic,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +595,7 @@ mod tests {
                 interleave,
                 interleave,
                 0,
+                None,
             )
         }
     }
@@ -667,8 +732,7 @@ mod tests {
     fn burst_values_and_row_masks() {
         let mut rig = Rig::new();
         let a = rig.mem.alloc_explicit(256).unwrap();
-        rig.mem
-            .host_write(a, 0, &(0..256).collect::<Vec<u32>>());
+        rig.mem.host_write(a, 0, &(0..256).collect::<Vec<u32>>());
         let mut w = rig.warp(1);
         let mut start = [0u32; WARP_SIZE];
         let mut count = [0u32; WARP_SIZE];
@@ -767,6 +831,81 @@ mod tests {
         w.atomic_add_f32(a, &[0; WARP_SIZE], &[7.0; WARP_SIZE], 0);
         drop(w);
         assert_eq!(f32::from_bits(rig.mem.host_read(a, 0, 1)[0]), 0.0);
+    }
+
+    #[test]
+    fn mask_zero_ops_issue_no_transactions_and_no_metric_drift() {
+        let mut rig = Rig::new();
+        let a = rig.mem.alloc_explicit(64).unwrap();
+        let mut metrics = KernelMetrics::default();
+        {
+            let mut w = rig.warp(1);
+            let vals = w.load(a, &iota(), 0);
+            assert_eq!(vals, [0u32; WARP_SIZE]);
+            w.store(a, &iota(), &[9; WARP_SIZE], 0);
+            w.atomic_add(a, &[0; WARP_SIZE], &[1; WARP_SIZE], 0);
+            let (instr, _) = w.finish(&mut metrics);
+            assert_eq!(instr, 3, "instructions still issue");
+        }
+        assert_eq!(rig.l1.stats().accesses(), 0, "no sectors reach L1");
+        assert_eq!(rig.l2.stats().accesses(), 0);
+        assert_eq!(metrics.l1_requests, 0);
+        assert_eq!(metrics.atomics, 0);
+        assert_eq!(metrics.dram_transactions, 0);
+        assert_eq!(metrics.dram_write_transactions, 0);
+        assert_eq!(
+            rig.mem.host_read(a, 0, 4),
+            &[0, 0, 0, 0],
+            "no writes landed"
+        );
+    }
+
+    #[test]
+    fn mask_zero_burst_is_a_noop() {
+        let mut rig = Rig::new();
+        let a = rig.mem.alloc_explicit(64).unwrap();
+        let mut metrics = KernelMetrics::default();
+        {
+            let mut w = rig.warp(1);
+            let rows = w.load_burst(a, &[0; WARP_SIZE], &[4; WARP_SIZE], 0);
+            assert!(rows.is_empty(), "no active lane, no rows");
+            let (instr, stall) = w.finish(&mut metrics);
+            assert_eq!(instr, 0, "a fully-masked burst issues nothing");
+            assert_eq!(stall, 0);
+        }
+        assert_eq!(rig.l1.stats().accesses(), 0);
+        assert_eq!(metrics.dram_transactions, 0);
+    }
+
+    #[test]
+    fn zero_count_burst_issues_nothing() {
+        let mut rig = Rig::new();
+        let a = rig.mem.alloc_explicit(64).unwrap();
+        let mut w = rig.warp(1);
+        let rows = w.load_burst(a, &iota(), &[0; WARP_SIZE], FULL_MASK);
+        assert!(rows.is_empty(), "count 0 on every lane, no rows");
+        drop(w);
+        assert_eq!(rig.l1.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn atomic_add_f32_serializes_in_lane_order_under_sparse_mask() {
+        let mut rig = Rig::new();
+        let a = rig.mem.alloc_explicit(8).unwrap();
+        rig.mem.host_write(a, 0, &[0f32.to_bits()]);
+        let mut w = rig.warp(1);
+        let mask = (1 << 1) | (1 << 5) | (1 << 30);
+        let mut vals = [0f32; WARP_SIZE];
+        vals[1] = 1.0;
+        vals[5] = 2.0;
+        vals[30] = 4.0;
+        let olds = w.atomic_add_f32(a, &[0; WARP_SIZE], &vals, mask);
+        assert_eq!(olds[1], 0.0, "lowest active lane applies first");
+        assert_eq!(olds[5], 1.0, "lane 5 sees lane 1's add");
+        assert_eq!(olds[30], 3.0, "lane 30 sees lanes 1 and 5");
+        assert_eq!(olds[0], 0.0, "inactive lanes return the default");
+        drop(w);
+        assert_eq!(f32::from_bits(rig.mem.host_read(a, 0, 1)[0]), 7.0);
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn main() {
         (Algorithm::Sssp, 9999),
     ];
 
-    println!("\n{:<6} {:>8} {:>10} {:>12} {:>10}", "alg", "source", "visited", "total (ms)", "queue");
+    println!(
+        "\n{:<6} {:>8} {:>10} {:>12} {:>10}",
+        "alg", "source", "visited", "total (ms)", "queue"
+    );
     let mut bfs_ms = Vec::new();
     for (i, &(alg, src)) in queries.iter().enumerate() {
         let r = session.query(alg, src).expect("resident graph");
@@ -47,7 +50,11 @@ fn main() {
             r.visited(),
             ms,
             i + 1,
-            if i == 0 { "  <- cold (pays the upload)" } else { "" }
+            if i == 0 {
+                "  <- cold (pays the upload)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -44,7 +44,9 @@ fn main() {
 
     // 2. UM demand paging: only the source island's pages ever migrate.
     let demand = EtaGraph::new(&graph, EtaConfig::without_ump()).with_gpu(gpu);
-    let r = demand.run(Algorithm::Bfs, source).expect("UM oversubscribes");
+    let r = demand
+        .run(Algorithm::Bfs, source)
+        .expect("UM oversubscribes");
     println!(
         "\n[UM demand] visited {} of {} vertices ({:.4}% activation) in {} iterations",
         r.visited(),
@@ -63,7 +65,9 @@ fn main() {
     // 3. UM + prefetch: streams the whole (oversized) topology through the
     //    device — correct, but pays for data the query never needed.
     let prefetch = EtaGraph::new(&graph, EtaConfig::paper()).with_gpu(gpu);
-    let p = prefetch.run(Algorithm::Bfs, source).expect("UM oversubscribes");
+    let p = prefetch
+        .run(Algorithm::Bfs, source)
+        .expect("UM oversubscribes");
     assert_eq!(p.labels, r.labels);
     println!(
         "\n[UM+UMP]    same result, but prefetched {:.1} MB and evicted {} pages: total {:.3} ms \

@@ -7,7 +7,7 @@
 //! cargo run --release --example social_reachability
 //! ```
 
-use eta_baselines::{CushaLike, EtaFramework, Framework, GunrockLike, TigrLike};
+use eta_baselines::{run_fresh, CushaLike, EtaFramework, Framework, GunrockLike, TigrLike};
 use eta_graph::generate::{rmat, RmatConfig};
 use eta_sim::GpuConfig;
 use etagraph::Algorithm;
@@ -33,9 +33,18 @@ fn main() {
     ];
 
     let mut hop_histogram: Option<Vec<usize>> = None;
-    println!("\n{:<10} {:>12} {:>12} {:>6}", "framework", "kernel (ms)", "total (ms)", "iters");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>6}",
+        "framework", "kernel (ms)", "total (ms)", "iters"
+    );
     for fw in &frameworks {
-        match fw.run(GpuConfig::default_preset(), &graph, seed, Algorithm::Bfs) {
+        match run_fresh(
+            fw.as_ref(),
+            GpuConfig::default_preset(),
+            &graph,
+            seed,
+            Algorithm::Bfs,
+        ) {
             Ok(r) => {
                 println!(
                     "{:<10} {:>12.3} {:>12.3} {:>6}",

@@ -42,8 +42,8 @@ fn main() {
         .filter(|&d| d != u32::MAX)
         .collect();
     let worst = reachable.iter().max().copied().unwrap_or(0);
-    let avg = reachable.iter().map(|&d| d as u64).sum::<u64>() as f64
-        / reachable.len().max(1) as f64;
+    let avg =
+        reachable.iter().map(|&d| d as u64).sum::<u64>() as f64 / reachable.len().max(1) as f64;
     println!(
         "SSSP: {} reachable routers, avg latency {:.1}, worst {} ({} iterations, {:.3} ms simulated)",
         reachable.len(),

@@ -1,7 +1,7 @@
 //! End-to-end integration tests across the workspace: datasets → device
 //! placement → kernels → results, validated against the CPU references.
 
-use eta_baselines::{CushaLike, EtaFramework, Framework, GunrockLike, TigrLike};
+use eta_baselines::{run_fresh, CushaLike, EtaFramework, Framework, GunrockLike, TigrLike};
 use eta_graph::generate::{rmat, web, RmatConfig, WebConfig};
 use eta_graph::{analysis, reference};
 use eta_sim::GpuConfig;
@@ -28,8 +28,7 @@ fn all_frameworks_agree_on_all_algorithms() {
     ];
     for fw in frameworks() {
         for (alg, expect) in &oracles {
-            let r = fw
-                .run(GpuConfig::default_preset(), &g, src, *alg)
+            let r = run_fresh(fw.as_ref(), GpuConfig::default_preset(), &g, src, *alg)
                 .unwrap_or_else(|e| panic!("{} {} failed: {e}", fw.name(), alg.name()));
             assert_eq!(&r.labels, expect, "{} {}", fw.name(), alg.name());
             assert!(r.total_ns >= r.kernel_ns, "{}: total < kernel", fw.name());
@@ -114,18 +113,16 @@ fn oom_pattern_mini() {
     let gpu = GpuConfig::gtx1080ti_scaled(bytes_per_edge(3.0));
 
     assert!(
-        CushaLike::default()
-            .run(gpu, &g, 0, Algorithm::Bfs)
-            .is_err(),
+        run_fresh(&CushaLike::default(), gpu, &g, 0, Algorithm::Bfs).is_err(),
         "CuSha must OOM at 3 words/edge"
     );
-    let gunrock = GunrockLike::default().run(gpu, &g, 0, Algorithm::Bfs);
+    let gunrock = run_fresh(&GunrockLike::default(), gpu, &g, 0, Algorithm::Bfs);
     assert!(gunrock.is_ok(), "Gunrock BFS fits at 3 words/edge");
-    let tigr = TigrLike::default().run(gpu, &g, 0, Algorithm::Bfs);
+    let tigr = run_fresh(&TigrLike::default(), gpu, &g, 0, Algorithm::Bfs);
     assert!(tigr.is_ok(), "Tigr BFS fits at 3 words/edge");
     // EtaGraph runs even when the device holds almost nothing.
     let tiny = GpuConfig::gtx1080ti_scaled(bytes_per_edge(1.2));
-    let eta = EtaFramework::paper().run(tiny, &g, 0, Algorithm::Bfs);
+    let eta = run_fresh(&EtaFramework::paper(), tiny, &g, 0, Algorithm::Bfs);
     assert!(eta.is_ok(), "EtaGraph oversubscribes via UM");
 }
 

@@ -20,12 +20,15 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
 
 /// Strategy: a weighted graph plus a valid source vertex.
 fn arb_weighted_with_source() -> impl Strategy<Value = (Csr, u32)> {
-    (arb_graph(96, 400), 0u64..u64::MAX, any::<proptest::sample::Index>()).prop_map(
-        |(g, seed, idx)| {
+    (
+        arb_graph(96, 400),
+        0u64..u64::MAX,
+        any::<proptest::sample::Index>(),
+    )
+        .prop_map(|(g, seed, idx)| {
             let src = idx.index(g.n()) as u32;
             (g.with_random_weights(seed, 32), src)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,232 @@
+//! Offline shim of the `criterion` API surface this workspace's benches
+//! use: `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a measurement harness, not a statistics engine: each benchmark
+//! runs a short warmup, then a fixed number of timed batches, and reports
+//! the per-iteration median to stdout. Good enough to keep `cargo bench`
+//! compiling and producing comparable numbers offline; swap the real
+//! criterion back in (networked environment) for confidence intervals.
+//! See `vendor/README.md`.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_BATCHES: u32 = 2;
+const MEASURED_BATCHES: u32 = 12;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &name.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample size is fixed in the shim; accepted for source compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation is accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (ignored by the shim's reporting).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    batch_times: Vec<Duration>,
+    iters_per_batch: u32,
+}
+
+impl Bencher {
+    /// Times `f`, amortized over a calibrated batch, for a fixed number of
+    /// batches after warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Grow the batch until one batch takes ≳0.5 ms, so fast primitives
+        // are measurable above timer resolution while slow simulations run
+        // only a handful of times.
+        let mut iters = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if start.elapsed() > Duration::from_micros(500) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.iters_per_batch = iters;
+        for batch in 0..(WARMUP_BATCHES + MEASURED_BATCHES) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if batch >= WARMUP_BATCHES {
+                self.batch_times.push(elapsed);
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
+    let mut b = Bencher {
+        batch_times: Vec::new(),
+        iters_per_batch: 1,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    report(&label, &b);
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.batch_times.is_empty() {
+        println!("bench {label}: no measurements (closure never called iter)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .batch_times
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / f64::from(b.iters_per_batch))
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "bench {label}: median {median:.1} ns/iter ({} batches x {} iters)",
+        b.batch_times.len(),
+        b.iters_per_batch
+    );
+}
+
+/// Declares a benchmark entry function running each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline shim of the `crossbeam` API surface this workspace uses:
+//! [`scope`] with `Scope::spawn` and `ScopedJoinHandle::join`.
+//!
+//! Since Rust 1.63 the standard library provides scoped threads, so the
+//! shim is a thin adapter keeping `crossbeam`'s signatures (the spawned
+//! closure receives the scope; `scope` returns a `Result` capturing child
+//! panics) over `std::thread::scope`. See `vendor/README.md`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// The payload of a panicked scope or child thread.
+pub type ScopeResult<T> = thread::Result<T>;
+
+/// A handle for spawning scoped threads, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself (callers here ignore it as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope for spawning borrowing threads.
+///
+/// Returns `Err` with the panic payload if the closure or any unjoined
+/// child thread panicked — crossbeam's contract — by catching the panic
+/// that `std::thread::scope` re-raises.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spawned_threads_see_borrowed_state() {
+        let counter = AtomicU32::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 21u32 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn unjoined_child_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}

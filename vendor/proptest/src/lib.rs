@@ -1,0 +1,192 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! Provides deterministic random-input testing with the same source syntax
+//! as proptest: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! range and tuple strategies, `prop_map`/`prop_flat_map`,
+//! `proptest::collection::vec`, `any::<T>()` and `sample::Index`.
+//!
+//! Differences from the real crate, by design (see `vendor/README.md`):
+//!
+//! * **No shrinking.** A failing case reports its case number and message;
+//!   inputs are reproducible because the RNG is seeded from the test name
+//!   and case index alone.
+//! * **No persistence.** There is no failure regression file.
+//! * `PROPTEST_CASES` overrides the per-test case count, as upstream.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Deterministic splitmix64 stream used to generate test inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a stream from the test name and case index, so every run of a
+    /// given binary explores the same inputs.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound = 0` means the full u64 range.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        let v = self.next_u64();
+        if bound == 0 {
+            v
+        } else {
+            v % bound
+        }
+    }
+}
+
+/// Runs one named test: samples each strategy `cases` times and executes the
+/// body, panicking with the case number on the first failure.
+///
+/// This is the support function behind [`proptest!`]; the macro passes the
+/// body as a closure returning `Err(message)` on a failed `prop_assert!`.
+pub fn run_cases<F>(test_name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases = test_runner::resolve_cases(cases);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest `{test_name}`: case {case} of {cases} failed: {msg}");
+        }
+    }
+}
+
+/// `proptest! { ... }`: defines `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body without aborting the whole
+/// process on failure (the harness reports the failing case instead).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        let mut a = crate::TestRng::for_case("t", 0);
+        let mut b = crate::TestRng::for_case("t", 0);
+        let mut c = crate::TestRng::for_case("t", 1);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro pipeline end to end: ranges, tuples, vec, map.
+        #[test]
+        fn generated_values_respect_bounds(x in 1u32..50, (a, b) in (0u64..10, 0u64..10)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(a < 10 && b < 10, "a={} b={}", a, b);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size_range(v in crate::collection::vec(0u32..5, 2..7usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn flat_map_sees_upstream_value((n, i) in (1usize..20).prop_flat_map(|n| {
+            (crate::strategy::just(n), crate::collection::vec(0u32..(n as u32), 1..4).prop_map(|v| v[0] as usize))
+        })) {
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn index_maps_into_range(idx in any::<crate::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

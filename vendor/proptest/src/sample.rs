@@ -1,0 +1,37 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+/// An abstract index into a collection of not-yet-known size.
+///
+/// Drawn via `any::<Index>()`; `index(len)` maps it uniformly into
+/// `0..len`, letting one generated value pick an element of any collection.
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Maps this index into `0..len`. Panics if `len == 0`, like upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot sample an Index from an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_uniform_modulo() {
+        assert_eq!(Index(10).index(3), 1);
+        assert_eq!(Index(0).index(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn index_rejects_empty() {
+        Index(1).index(0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Strategies: composable recipes for generating test inputs.
+
+use crate::TestRng;
+use std::ops::Range;
+
+/// A recipe for producing values of `Self::Value` from the test RNG.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a sampling function, which is sufficient for the invariant tests in
+/// this workspace.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        let upstream = self.inner.sample(rng);
+        (self.f)(upstream).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value (proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Convenience constructor for [`Just`].
+pub fn just<T: Clone>(value: T) -> Just<T> {
+    Just(value)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                // width == 0 encodes the full u64 range (e.g. 0..u64::MAX
+                // leaves exactly one value uncovered; close enough for a
+                // sampler without shrinking).
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8 u16 u32 u64 usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(width) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8 i16 i32 i64 isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (5u32..9).sample(&mut rng);
+            assert!((5..9).contains(&v));
+            let s = (-3i32..3).sample(&mut rng);
+            assert!((-3..3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = TestRng::for_case("full", 0);
+        // 0..u64::MAX has width u64::MAX, exercised via the wrap-around path.
+        let _ = (0u64..u64::MAX).sample(&mut rng);
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut rng = TestRng::for_case("compose", 0);
+        let strat = (0u32..4, 10u64..12).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((10..16).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Test-runner configuration.
+
+/// Per-`proptest!`-block configuration. Only `cases` is modelled.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test explores.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override, as upstream does.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) => n,
+        None => configured,
+    }
+}

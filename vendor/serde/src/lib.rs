@@ -1,0 +1,168 @@
+//! Offline shim of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free replacement (see `vendor/README.md`).
+//! Only what the repo actually needs is provided: a [`Serialize`] trait that
+//! converts a value into an owned JSON [`value::Value`], impls for the
+//! primitive/container types our serialized structs contain, and (behind the
+//! `derive` feature) a `#[derive(Serialize)]` macro supporting structs with
+//! named fields, unit-only enums and the `#[serde(skip)]` attribute.
+//!
+//! This is intentionally *not* the real serde data model: there is no
+//! `Serializer` abstraction and no `Deserialize`. If a future change needs
+//! more of serde, extend this shim (or restore the real dependency in a
+//! networked environment) rather than working around it.
+
+pub mod value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+use value::{Map, Number, Value};
+
+/// Conversion into the shim's JSON value tree.
+///
+/// The real serde `Serialize` is generic over a `Serializer`; every consumer
+/// in this workspace ultimately serializes to JSON, so the shim collapses
+/// the abstraction to "produce a [`Value`]".
+pub trait Serialize {
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8 u16 u32 u64 usize);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8 i16 i32 i64 isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+impl_serialize_tuple!(A.0);
+impl_serialize_tuple!(A.0, B.1);
+impl_serialize_tuple!(A.0, B.1, C.2);
+impl_serialize_tuple!(A.0, B.1, C.2, D.3);
+
+impl Serialize for Map {
+    fn to_json(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_json(), Value::Number(Number::PosInt(3)));
+        assert_eq!((-2i32).to_json(), Value::Number(Number::NegInt(-2)));
+        assert_eq!(1.5f64.to_json(), Value::Number(Number::Float(1.5)));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("x".to_json(), Value::String("x".into()));
+        assert_eq!(Option::<u32>::None.to_json(), Value::Null);
+    }
+
+    #[test]
+    fn containers_serialize_elementwise() {
+        let v = vec![1u32, 2, 3].to_json();
+        assert_eq!(v.as_array().unwrap().len(), 3);
+        assert_eq!(v[2].as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline shim of serde's `#[derive(Serialize)]`.
+//!
+//! Implements exactly the subset this workspace derives on: structs with
+//! named fields and enums whose variants are all unit-like. The only
+//! recognized helper attribute is `#[serde(skip)]` on a struct field.
+//! Anything else (tuple structs, generics, data-carrying variants) is a
+//! compile error pointing here, so a future need is noticed rather than
+//! silently mis-serialized.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw `TokenTree`s, extracts field/variant names,
+//! and emits the impl by formatting source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            format!("serde shim: `{name}` has no braced body (tuple/unit types unsupported)")
+        })?;
+
+    match kind.as_str() {
+        "struct" => expand_struct(&name, body),
+        "enum" => expand_enum(&name, body),
+        other => Err(format!("serde shim: cannot derive Serialize for `{other}`")),
+    }
+}
+
+/// Advances past any number of outer attributes (`#[...]`), returning
+/// whether one of them was exactly `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            skip |= is_serde_skip(&g.stream());
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn is_serde_skip(attr: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref a) if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expand_struct(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skipped = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected token in `{name}`: {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!(
+                "serde shim: `{name}` looks like a tuple struct; only named fields are supported"
+            ));
+        }
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if !skipped {
+            fields.push(field);
+        }
+    }
+
+    let mut inserts = String::new();
+    for f in &fields {
+        inserts.push_str(&format!(
+            "m.insert(::std::string::String::from({f:?}), \
+             ::serde::Serialize::to_json(&self.{f}));\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::value::Value {{\n\
+         let mut m = ::serde::value::Map::new();\n\
+         {inserts}\
+         ::serde::value::Value::Object(m)\n\
+         }}\n}}\n"
+    );
+    out.parse().map_err(|e| format!("serde shim: {e:?}"))
+}
+
+fn expand_enum(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected token in `{name}`: {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim: variant `{name}::{variant}` carries data or a discriminant; \
+                     only unit variants are supported"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+
+    let mut arms = String::new();
+    for v in &variants {
+        arms.push_str(&format!(
+            "{name}::{v} => ::serde::value::Value::String(::std::string::String::from({v:?})),\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::value::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    );
+    out.parse().map_err(|e| format!("serde shim: {e:?}"))
+}
+
+/// Advances past a field's type: everything up to the next comma that is
+/// outside `<...>` (commas inside parens/brackets are inside `Group`s and
+/// never seen at this level).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}

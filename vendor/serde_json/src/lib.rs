@@ -1,0 +1,208 @@
+//! Offline shim of the `serde_json` API surface this workspace uses:
+//! [`Value`]/[`Map`]/[`Number`], [`json!`], [`to_value`], [`to_string`] and
+//! [`to_string_pretty`]. See `vendor/README.md` for scope and rationale.
+//!
+//! The value types live in the `serde` shim (so its `Serialize` trait can
+//! name them) and are re-exported here under their familiar paths.
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Serialization error. The shim's tree-to-text rendering is total, so this
+/// is never actually produced; it exists to keep call-site signatures
+/// (`Result` + `unwrap`/`?`) source-compatible with real serde_json.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Renders compact JSON.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_with(false))
+}
+
+/// Renders two-space-indented JSON.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_with(true))
+}
+
+/// Rendering entry points for this crate, kept off the public `Value` type.
+trait Render {
+    fn render_with(&self, pretty: bool) -> String;
+}
+
+impl Render for Value {
+    fn render_with(&self, pretty: bool) -> String {
+        if pretty {
+            // `Display` renders compact; pretty needs the dedicated path.
+            serde::value::pretty(self)
+        } else {
+            self.to_string()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    pub fn to_val<T: ?Sized + serde::Serialize>(v: &T) -> crate::Value {
+        v.to_json()
+    }
+}
+
+/// Construct a [`Value`] from a JSON-like literal.
+///
+/// A reimplementation of serde_json's TT-muncher covering the forms used in
+/// this workspace: object/array literals, `null`/`true`/`false`, and
+/// arbitrary `Serialize` expressions in value position.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array muncher -------------------------------------------------
+    (@array [$($elems:expr,)*]) => { ::std::vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { ::std::vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object muncher ------------------------------------------------
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the current key/value pair, then continue after the comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final key/value pair.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Value forms that must be matched at the token level, before `expr`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Value is a general expression followed by a comma...
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // ...or the last expression in the literal.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- entry points --------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::__private::to_val(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_structures() {
+        let n = 3u32;
+        let v = json!({
+            "name": "bfs",
+            "n": n,
+            "ok": true,
+            "missing": null,
+            "nested": { "xs": [1, 2, n + 1] },
+            "list": [true, "s", { "k": 0.5 }],
+        });
+        assert_eq!(v["name"].as_str(), Some("bfs"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["nested"]["xs"][2].as_u64(), Some(4));
+        assert_eq!(v["list"][2]["k"].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions_and_collections() {
+        let items: Vec<u64> = vec![4, 5, 6];
+        let v = json!({ "items": items.iter().map(|&x| x * 2).collect::<Vec<_>>() });
+        let arr = v["items"].as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(8));
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = json!({ "a": [1], "b": {} });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":[1],\"b\":{}}");
+    }
+
+    #[test]
+    fn to_value_round_trips_serialize_types() {
+        let v = to_value(vec![1u32, 2]).unwrap();
+        assert_eq!(v[1].as_u64(), Some(2));
+    }
+}
