@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full offline CI gate for this workspace. Everything is deterministic
+# and networkless; release mode matters (debug is 10-50x slower through the
+# simulator). Run from the repository root:
+#
+#   ./ci.sh
+#
+# The `--workspace` flags are load-bearing: the repo root is itself a
+# package (examples + integration tests), so bare cargo commands would
+# silently skip the crates. Same gates as .claude/skills/verify/SKILL.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --all-targets --release"
+cargo build --workspace --all-targets --release
+
+echo "==> cargo test --workspace --release -q"
+cargo test --workspace --release -q
+
+echo "ci: all gates passed"

@@ -105,7 +105,12 @@ impl Framework for EtaFramework {
         source: u32,
         alg: Algorithm,
     ) -> Result<RunResult, FrameworkError> {
-        etagraph::engine::run(dev, csr, source, alg, &self.cfg).map_err(Into::into)
+        etagraph::engine::run(dev, csr, source, alg, &self.cfg).map_err(|e| match e {
+            etagraph::QueryError::Mem(m) => FrameworkError::Oom(m),
+            etagraph::QueryError::SourceOutOfRange { .. } => {
+                FrameworkError::Unsupported("source out of range")
+            }
+        })
     }
 }
 

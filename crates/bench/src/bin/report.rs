@@ -16,9 +16,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN: [&str; 12] = [
+const KNOWN: [&str; 13] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize",
+    "extras", "sanitize", "serve",
 ];
 
 fn main() {
@@ -92,6 +92,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         } else {
             "livejournal"
         }),
+        "serve" => eta_bench::serve_report::serve(suite),
         _ => unreachable!("validated in main"),
     }
 }

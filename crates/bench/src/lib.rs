@@ -11,6 +11,8 @@
 pub mod extras;
 pub mod figs;
 pub mod sanitize;
+pub mod serve_report;
+pub mod stats;
 pub mod suite;
 pub mod tables;
 pub mod text;

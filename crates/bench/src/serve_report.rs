@@ -1,0 +1,171 @@
+//! The `serve` artifact: a served multi-tenant workload, reported with the
+//! latency digests of [`crate::stats`], contrasting source batching against
+//! an unbatched FIFO baseline on the *same* trace.
+//!
+//! This is the serving-layer counterpart of the paper's throughput tables:
+//! the iBFS-style batched launch amortizes one topology read across up to
+//! 32 concurrent queries, and here that shows up as makespan/throughput
+//! wins over per-request dispatch.
+
+use crate::stats::Summary;
+use crate::suite::Suite;
+use crate::tables::Artifact;
+use crate::text;
+use eta_graph::generate::{rmat, RmatConfig};
+use eta_serve::{
+    poisson_trace, GraphRegistry, Policy, Priority, ServeConfig, ServeReport, Service,
+    WorkloadConfig,
+};
+use serde_json::{json, Value};
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// JSON digest of one served run.
+fn report_json(label: &str, report: &ServeReport) -> Value {
+    json!({
+        "mode": label,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "makespan_ms": report.makespan_ns as f64 / 1e6,
+        "throughput_qps": report.throughput_qps,
+        "mean_batch_size": report.mean_batch_size(),
+        "slo_attainment": report.slo_attainment(),
+        "latency": Summary::of(&report.latencies_ns(None)),
+        "latency_interactive": Summary::of(&report.latencies_ns(Some(Priority::Interactive))),
+        "latency_batch": Summary::of(&report.latencies_ns(Some(Priority::Batch))),
+        "devices": report.devices,
+    })
+}
+
+/// Serves the same Poisson trace twice — batched priority scheduling vs
+/// unbatched FIFO — and reports both.
+pub fn serve(suite: Suite) -> Artifact {
+    let (scale, edges, requests) = match suite {
+        Suite::Quick => (10u32, 8_000usize, 120u32),
+        Suite::Full => (12, 32_000, 240),
+    };
+    let mut registry = GraphRegistry::new();
+    registry.insert("tenant-a", rmat(&RmatConfig::paper(scale, edges, 11)));
+    registry.insert("tenant-b", rmat(&RmatConfig::paper(scale, edges, 12)));
+    let names = vec!["tenant-a".to_string(), "tenant-b".to_string()];
+    // A rate well past what per-request dispatch sustains, so requests queue
+    // behind the pool and batching has a backlog to coalesce.
+    let workload = WorkloadConfig {
+        requests,
+        seed: 7,
+        rate_per_s: 20_000.0,
+        interactive_fraction: 0.4,
+        interactive_slo_ns: Some(2_000_000), // 2 ms
+        batch_slo_ns: None,
+        timeout_ns: None,
+    };
+    let trace = poisson_trace(&registry, &names, &workload);
+
+    let base = ServeConfig {
+        devices: 2,
+        ..ServeConfig::default()
+    };
+    let batched = Service::new(&registry, base.clone()).run(&trace);
+    let unbatched = Service::new(
+        &registry,
+        ServeConfig {
+            max_batch: 1,
+            policy: Policy::Fifo,
+            ..base
+        },
+    )
+    .run(&trace);
+
+    let mode_row = |label: &str, r: &ServeReport| {
+        let lat = Summary::of(&r.latencies_ns(None)).expect("completed requests");
+        vec![
+            label.to_string(),
+            r.completed.to_string(),
+            format!("{:.1}", r.mean_batch_size()),
+            ms(r.makespan_ns),
+            format!("{:.0}", r.throughput_qps),
+            ms(lat.p50),
+            ms(lat.p95),
+            ms(lat.p99),
+        ]
+    };
+    let mut body = text::table(
+        &[
+            "mode",
+            "completed",
+            "mean batch",
+            "makespan (ms)",
+            "qps",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+        ],
+        &[
+            mode_row("batched + priority", &batched),
+            mode_row("unbatched FIFO", &unbatched),
+        ],
+    );
+    let class_rows: Vec<Vec<String>> = [
+        ("interactive", Some(Priority::Interactive)),
+        ("batch", Some(Priority::Batch)),
+    ]
+    .iter()
+    .filter_map(|(label, class)| {
+        Summary::of(&batched.latencies_ns(*class)).map(|s| {
+            vec![
+                label.to_string(),
+                s.count.to_string(),
+                ms(s.p50),
+                ms(s.p95),
+                ms(s.p99),
+            ]
+        })
+    })
+    .collect();
+    body.push_str("\nper-class latency (batched + priority):\n");
+    body.push_str(&text::table(
+        &["class", "count", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        &class_rows,
+    ));
+    if let Some(slo) = batched.slo_attainment() {
+        body.push_str(&format!(
+            "\ninteractive SLO ({} ms): {:.1}% met\n",
+            workload.interactive_slo_ns.unwrap_or(0) / 1_000_000,
+            slo * 100.0
+        ));
+    }
+    body.push_str(&format!(
+        "batching speedup (makespan): {:.2}x\n",
+        unbatched.makespan_ns as f64 / batched.makespan_ns as f64
+    ));
+
+    Artifact {
+        name: "serve",
+        title: format!("Serve: {requests} Poisson requests over 2 tenants, batched vs unbatched"),
+        text: body,
+        json: json!({
+            "requests": requests,
+            "seed": workload.seed,
+            "batched": report_json("batched_priority", &batched),
+            "unbatched": report_json("unbatched_fifo", &unbatched),
+            "makespan_speedup": unbatched.makespan_ns as f64 / batched.makespan_ns as f64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_artifact_shows_a_batching_win() {
+        let a = serve(Suite::Quick);
+        assert_eq!(a.name, "serve");
+        let speedup = a.json["makespan_speedup"].as_f64().unwrap();
+        assert!(speedup > 1.0, "batching must win, got {speedup}x");
+        assert_eq!(a.json["batched"]["completed"], 120u32);
+        assert!(a.text.contains("per-class latency"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Latency/size distribution helpers shared by the paper tables and the
+//! serving-layer report.
+//!
+//! One percentile definition for the whole repository: **nearest rank**.
+//! For `N` sorted samples and percentile `p` in (0, 100], the value is the
+//! `ceil(p/100 · N)`-th smallest sample (1-indexed). This is the definition
+//! used by most latency-reporting systems: it always returns an observed
+//! sample (never an interpolation), p100 is the maximum, and for `N = 1`
+//! every percentile is that sample.
+
+use serde::Serialize;
+
+/// Nearest-rank percentile of `samples` (unsorted is fine; a sorted copy is
+/// made internally). `p` must be in (0, 100].
+///
+/// Returns `None` when `samples` is empty — an empty distribution has no
+/// percentiles, and silently returning 0 would read as "zero latency".
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(nearest_rank(&sorted, p))
+}
+
+/// Nearest-rank lookup on already-sorted samples.
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The standard latency digest: count, mean, min/max, and the three
+/// percentiles every report in this repository quotes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Digests `samples`; `None` when empty (see [`percentile`]).
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_textbook_example() {
+        // The classic worked example: {15, 20, 35, 40, 50}.
+        let v = [35, 20, 15, 50, 40];
+        assert_eq!(percentile(&v, 5.0), Some(15));
+        assert_eq!(percentile(&v, 30.0), Some(20));
+        assert_eq!(percentile(&v, 40.0), Some(20));
+        assert_eq!(percentile(&v, 50.0), Some(35));
+        assert_eq!(percentile(&v, 100.0), Some(50));
+    }
+
+    #[test]
+    fn edge_cases_one_sample_and_empty() {
+        assert_eq!(percentile(&[7], 1.0), Some(7));
+        assert_eq!(percentile(&[7], 99.0), Some(7));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn summary_digest_is_consistent() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!((s.min, s.max), (1, 100));
+        // With N = 100, nearest rank p is exactly the p-th smallest.
+        assert_eq!((s.p50, s.p95, s.p99), (50, 95, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn zero_percentile_is_rejected() {
+        let _ = percentile(&[1, 2, 3], 0.0);
+    }
+}

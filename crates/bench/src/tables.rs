@@ -236,26 +236,25 @@ pub fn table5(suite: Suite) -> Artifact {
             let r = etagraph::engine::run(&mut dev, &g, d.source, Algorithm::Sssp, &cfg)
                 .expect("UM runs never OOM");
             let sizes = r.um_stats.all_sizes();
-            let (avg, min, max) = if sizes.is_empty() {
-                (0.0, 0, 0)
-            } else {
-                (
-                    sizes.iter().sum::<u64>() as f64 / sizes.len() as f64,
-                    *sizes.iter().min().unwrap(),
-                    *sizes.iter().max().unwrap(),
-                )
+            let digest = crate::stats::Summary::of(&sizes);
+            let (avg, min, max, p50, p95) = match &digest {
+                Some(s) => (s.mean, s.min, s.max, s.p50, s.p95),
+                None => (0.0, 0, 0, 0, 0),
             };
             let label = format!("{}{}", ds, if prefetch { "" } else { " w/o UMP" });
             rows.push(vec![
                 label.clone(),
                 format!("{:.1}", avg / 1024.0),
                 format!("{:.0}", min as f64 / 1024.0),
+                format!("{:.0}", p50 as f64 / 1024.0),
+                format!("{:.0}", p95 as f64 / 1024.0),
                 format!("{:.0}", max as f64 / 1024.0),
                 sizes.len().to_string(),
             ]);
             jrows.push(json!({
                 "dataset": ds, "prefetch": prefetch,
                 "avg_kb": avg / 1024.0, "min_kb": min as f64 / 1024.0,
+                "p50_kb": p50 as f64 / 1024.0, "p95_kb": p95 as f64 / 1024.0,
                 "max_kb": max as f64 / 1024.0, "migrations": sizes.len(),
                 "faults": r.um_stats.faults,
             }));
@@ -269,6 +268,8 @@ pub fn table5(suite: Suite) -> Artifact {
                 "configuration",
                 "avg size (KB)",
                 "min (KB)",
+                "p50 (KB)",
+                "p95 (KB)",
                 "max (KB)",
                 "#batches",
             ],

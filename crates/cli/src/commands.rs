@@ -24,6 +24,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
         Some("generate") => generate(&args),
         Some("info") => info(&args),
         Some("run") => run(&args),
+        Some("serve") => serve(&args),
         Some("datasets") => datasets(&args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n{}", usage()))),
         None => Err(ArgError(usage())),
@@ -43,6 +44,10 @@ pub fn usage() -> String {
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
      \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
      \x20            [--device-mb MB] [--trace FILE] [--sanitize] [--json]\n\
+     etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
+     \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
+     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--sanitize] [--json]\n\
+     \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph datasets [--json]"
         .to_string()
 }
@@ -406,6 +411,205 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
     Ok(out)
 }
 
+/// One `--graph` spec: `rmatN` generates an R-MAT graph in memory (graph
+/// seed `42 + index`, paper edge factor); anything else loads a graph file.
+/// The spec string itself becomes the registry name.
+fn parse_graph_spec(spec: &str, idx: usize) -> Result<Csr, ArgError> {
+    if let Some(scale) = spec
+        .strip_prefix("rmat")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        if scale > 28 {
+            return Err(ArgError(format!("--graph {spec}: scale above 28")));
+        }
+        let edges = (1usize << scale) * 16;
+        return Ok(rmat(&RmatConfig::paper(scale, edges, 42 + idx as u64)));
+    }
+    io::load(spec).map_err(|e| ArgError(format!("loading {spec}: {e}")))
+}
+
+/// Serves a deterministic Poisson workload over one or more tenant graphs
+/// on a pool of simulated devices; see `eta-serve`.
+fn serve(args: &Args) -> Result<Output, ArgError> {
+    use eta_bench::stats::Summary;
+    use eta_serve::{poisson_trace, Priority};
+
+    let specs: Vec<String> = args
+        .get("graph")
+        .ok_or_else(|| ArgError("missing --graph SPEC[,SPEC...]".into()))?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let mut registry = eta_serve::GraphRegistry::new();
+    for (idx, spec) in specs.iter().enumerate() {
+        registry.insert(spec, parse_graph_spec(spec, idx)?);
+    }
+
+    let workload = eta_serve::WorkloadConfig {
+        requests: args.get_parse("requests", 200)?,
+        seed: args.get_parse("seed", 7)?,
+        rate_per_s: args.get_parse("rate", 2_000.0f64)?,
+        interactive_fraction: args.get_parse("interactive-frac", 0.5f64)?,
+        interactive_slo_ns: args
+            .get("slo-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(|ms| ms * 1_000_000)
+                    .map_err(|_| ArgError(format!("--slo-ms: cannot parse {v:?}")))
+            })
+            .transpose()?,
+        batch_slo_ns: None,
+        timeout_ns: args
+            .get("timeout-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(|ms| ms * 1_000_000)
+                    .map_err(|_| ArgError(format!("--timeout-ms: cannot parse {v:?}")))
+            })
+            .transpose()?,
+    };
+    if workload.rate_per_s <= 0.0 {
+        return Err(ArgError("--rate must be positive".into()));
+    }
+
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let sanitize = args.switch("sanitize");
+    if sanitize {
+        gpu = gpu.with_sanitizer(SanitizerMode::Full);
+    }
+    let max_batch = if args.switch("no-batch") {
+        1
+    } else {
+        args.get_parse("batch", etagraph::multi_bfs::MAX_BATCH)?
+    };
+    if !(1..=etagraph::multi_bfs::MAX_BATCH).contains(&max_batch) {
+        return Err(ArgError(format!(
+            "--batch takes 1..={}",
+            etagraph::multi_bfs::MAX_BATCH
+        )));
+    }
+    let cfg = eta_serve::ServeConfig {
+        devices: args.get_parse("devices", 1)?,
+        gpu,
+        eta: eta_config_from(args)?,
+        queue_capacity: args.get_parse("queue-cap", 256)?,
+        max_batch,
+        policy: if args.switch("fifo") {
+            eta_serve::Policy::Fifo
+        } else {
+            eta_serve::Policy::PriorityDeadline
+        },
+    };
+    if cfg.devices == 0 {
+        return Err(ArgError("--devices must be at least 1".into()));
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(ArgError("--queue-cap must be at least 1".into()));
+    }
+    args.ensure_consumed()?;
+
+    let trace = poisson_trace(&registry, &specs, &workload);
+    let mut service = eta_serve::Service::new(&registry, cfg.clone());
+    let report = service.run(&trace);
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "served {} requests over {} graph(s) on {} device(s): {} completed, {} rejected",
+        workload.requests,
+        specs.len(),
+        cfg.devices,
+        report.completed,
+        report.rejected
+    );
+    let _ = writeln!(
+        text,
+        "makespan {:.3} ms, throughput {:.0} qps, mean batch size {:.1} ({})",
+        ms(report.makespan_ns),
+        report.throughput_qps,
+        report.mean_batch_size(),
+        cfg.policy.name()
+    );
+    let mut latency_json = serde_json::Map::new();
+    for (label, class) in [
+        ("all", None),
+        ("interactive", Some(Priority::Interactive)),
+        ("batch", Some(Priority::Batch)),
+    ] {
+        if let Some(s) = Summary::of(&report.latencies_ns(class)) {
+            let _ = writeln!(
+                text,
+                "latency [{label:>11}] n={:<4} p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+                s.count,
+                ms(s.p50),
+                ms(s.p95),
+                ms(s.p99)
+            );
+            latency_json.insert(
+                label.to_string(),
+                serde_json::to_value(&s).unwrap_or_default(),
+            );
+        }
+    }
+    if let Some(slo) = report.slo_attainment() {
+        let _ = writeln!(text, "SLO attainment: {:.1}%", slo * 100.0);
+    }
+    for d in &report.devices {
+        let _ = writeln!(
+            text,
+            "device {}: {:.1}% utilized, {} upload(s), {} eviction(s)",
+            d.device,
+            d.utilization * 100.0,
+            d.uploads,
+            d.evictions
+        );
+    }
+    if !report.rejections.is_empty() {
+        let mut by_reason: std::collections::BTreeMap<&str, u32> = Default::default();
+        for r in &report.rejections {
+            *by_reason.entry(r.reason.name()).or_default() += 1;
+        }
+        let reasons: Vec<String> = by_reason
+            .iter()
+            .map(|(name, count)| format!("{name} x{count}"))
+            .collect();
+        let _ = writeln!(text, "rejections: {}", reasons.join(", "));
+    }
+
+    let mut out = Output {
+        json: json!({
+            "graphs": specs,
+            "requests": workload.requests,
+            "seed": workload.seed,
+            "devices": cfg.devices,
+            "max_batch": cfg.max_batch,
+            "policy": cfg.policy,
+            "latency_ms_scale": 1e-6,
+            "latency": serde_json::Value::Object(latency_json),
+            "slo_attainment": report.slo_attainment(),
+            "mean_batch_size": report.mean_batch_size(),
+            "report": serde_json::to_value(&report).unwrap_or_default(),
+        }),
+        text,
+    };
+    if sanitize {
+        let mut reports = Vec::new();
+        for w in service.workers() {
+            if let Some(report) = w.dev.sanitizer_report() {
+                out.text.push('\n');
+                out.text.push_str(&report.summarize());
+                reports.push(serde_json::to_value(&report).unwrap_or_default());
+            }
+        }
+        if let serde_json::Value::Object(m) = &mut out.json {
+            m.insert("sanitizer".into(), serde_json::Value::Array(reports));
+        }
+    }
+    Ok(out)
+}
+
 fn datasets(_args: &Args) -> Result<Output, ArgError> {
     let mut text = String::from("scaled evaluation datasets (built in-memory by eta-bench):\n");
     let mut rows = Vec::new();
@@ -607,6 +811,79 @@ mod tests {
         // Without the flag, no report is attached.
         let plain = dispatch(argv(&format!("run {f} --alg bfs"))).unwrap();
         assert!(plain.json["sanitizer"].is_null());
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn serve_subcommand_end_to_end() {
+        let out = dispatch(argv(
+            "serve --graph rmat10 --requests 40 --seed 7 --rate 5000",
+        ))
+        .unwrap();
+        assert_eq!(out.json["requests"], 40);
+        let completed = out.json["report"]["completed"].as_u64().unwrap();
+        let rejected = out.json["report"]["rejected"].as_u64().unwrap();
+        assert_eq!(completed + rejected, 40);
+        assert!(out.json["latency"]["all"]["p95"].as_u64().unwrap() > 0);
+        assert!(out.text.contains("throughput"), "{}", out.text);
+        // Same invocation, byte-identical JSON (the determinism contract).
+        let again = dispatch(argv(
+            "serve --graph rmat10 --requests 40 --seed 7 --rate 5000",
+        ))
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&out.json).unwrap(),
+            serde_json::to_string(&again.json).unwrap()
+        );
+        // A different seed produces a different trace.
+        let other = dispatch(argv(
+            "serve --graph rmat10 --requests 40 --seed 8 --rate 5000",
+        ))
+        .unwrap();
+        assert_ne!(
+            serde_json::to_string(&out.json["report"]).unwrap(),
+            serde_json::to_string(&other.json["report"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        assert!(dispatch(argv("serve --requests 10"))
+            .unwrap_err()
+            .0
+            .contains("--graph"));
+        assert!(dispatch(argv("serve --graph rmat10 --batch 99"))
+            .unwrap_err()
+            .0
+            .contains("--batch"));
+        assert!(dispatch(argv("serve --graph rmat10 --rate -1"))
+            .unwrap_err()
+            .0
+            .contains("--rate"));
+        // Typo'd flags are named, like every other subcommand.
+        let err = dispatch(argv("serve --graph rmat10 --reqests 10")).unwrap_err();
+        assert!(err.0.contains("--reqests"), "{err}");
+    }
+
+    #[test]
+    fn serve_with_file_graph_sanitizer_and_no_batch() {
+        let f = tmpfile("serve.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
+        let out = dispatch(argv(&format!(
+            "serve --graph {f} --requests 12 --no-batch --fifo --sanitize --devices 2"
+        )))
+        .unwrap();
+        assert_eq!(out.json["report"]["completed"], 12u32);
+        // Unbatched: every launch carries exactly one request.
+        assert_eq!(out.json["mean_batch_size"].as_f64().unwrap(), 1.0);
+        let sans = out.json["sanitizer"].as_array().unwrap();
+        assert_eq!(sans.len(), 2, "one report per device");
+        assert!(sans
+            .iter()
+            .all(|s| s["errors"].as_array().unwrap().is_empty()));
         std::fs::remove_file(&f).ok();
     }
 

@@ -49,6 +49,12 @@ impl DeviceQueue {
         dev.mem.host_write(self.items, 0, values);
         dev.mem.host_write(self.count, 0, &[values.len() as u32]);
     }
+
+    /// Returns the queue's device capacity (registry eviction path).
+    pub fn release(self, dev: &mut Device) {
+        dev.mem.free_explicit(self.items);
+        dev.mem.free_explicit(self.count);
+    }
 }
 
 /// The virtual active set: shadow-vertex 3-tuples in structure-of-arrays
@@ -81,6 +87,13 @@ impl VirtualQueue {
 
     pub fn reset(&self, dev: &mut Device, now: Ns) -> Ns {
         dev.mem.copy_h2d(self.count, 0, &[0], now)
+    }
+
+    /// Returns the queue's device capacity (registry eviction path).
+    pub fn release(self, dev: &mut Device) {
+        for s in [self.ids, self.starts, self.ends, self.count] {
+            dev.mem.free_explicit(s);
+        }
     }
 }
 

@@ -104,6 +104,25 @@ impl DeviceGraph {
         ))
     }
 
+    /// Retires the topology from the device: explicit copies return their
+    /// capacity, unified regions drop page residency back to the UM budget,
+    /// zero-copy mappings never held device memory. Used by the serving
+    /// layer's registry eviction.
+    pub fn release(self, dev: &mut Device) {
+        for s in [Some(self.row_offsets), Some(self.col_idx), self.weights]
+            .into_iter()
+            .flatten()
+        {
+            match self.mode {
+                TransferMode::ExplicitCopy => dev.mem.free_explicit(s),
+                TransferMode::Unified | TransferMode::UnifiedPrefetch => {
+                    dev.mem.invalidate_unified(s)
+                }
+                TransferMode::ZeroCopy => {}
+            }
+        }
+    }
+
     /// Issues `cudaMemPrefetchAsync` for the topology arrays (only in
     /// [`TransferMode::UnifiedPrefetch`]). Asynchronous: the chunks queue on
     /// the link and pages gain arrival times, but the call returns at `now`.

@@ -27,6 +27,7 @@
 use crate::active_set::{DeviceQueue, VirtualQueue};
 use crate::config::{Algorithm, EtaConfig, UdcMode};
 use crate::device_graph::DeviceGraph;
+use crate::error::{check_source, QueryError};
 use crate::kernels::{PullBfsKernel, TraversalKernel};
 use crate::result::{IterationStats, RunResult};
 use crate::udc::{ActToVirtKernel, ExpandFromTableKernel, ShadowTable};
@@ -65,6 +66,38 @@ pub struct QueryResources {
     full: VirtualQueue,
     partial: VirtualQueue,
     shadow_table: Option<DeviceShadowTable>,
+}
+
+impl QueryResources {
+    /// The resident topology these resources were prepared for.
+    pub fn device_graph(&self) -> &DeviceGraph {
+        &self.dg
+    }
+
+    /// Returns every explicit allocation's capacity to the device and drops
+    /// unified residency, so another graph can take this one's place (the
+    /// serving layer's eviction path). The bump storage itself is not
+    /// reclaimed — see [`eta_mem::system::MemSystem::free_explicit`].
+    pub fn release(self, dev: &mut Device) {
+        self.dg.release(dev);
+        if let Some(pg) = self.pull {
+            dev.mem.invalidate_unified(pg.row_offsets);
+            dev.mem.invalidate_unified(pg.col_idx);
+            dev.mem.free_explicit(pg.row_offsets);
+            dev.mem.free_explicit(pg.col_idx);
+        }
+        dev.mem.free_explicit(self.labels);
+        dev.mem.free_explicit(self.tags);
+        self.act.release(dev);
+        self.next.release(dev);
+        self.full.release(dev);
+        self.partial.release(dev);
+        if let Some(t) = self.shadow_table {
+            for s in [t.ids, t.starts, t.ends, t.vertex_range] {
+                dev.mem.free_explicit(s);
+            }
+        }
+    }
 }
 
 /// Uploads the topology and allocates every reusable device structure.
@@ -157,15 +190,18 @@ pub fn prepare(
 /// Runs one traversal on a fresh device state.
 ///
 /// `csr` must carry weights when `alg` needs them. Returns
-/// [`MemError::Oom`] when the configured transfer mode requires explicit
-/// device allocations that do not fit (the "w/o UM" ablation on uk-2006).
+/// [`QueryError::SourceOutOfRange`] for a source id that is not a vertex,
+/// and [`QueryError::Mem`] when the configured transfer mode requires
+/// explicit device allocations that do not fit (the "w/o UM" ablation on
+/// uk-2006).
 pub fn run(
     dev: &mut Device,
     csr: &Csr,
     source: u32,
     alg: Algorithm,
     cfg: &EtaConfig,
-) -> Result<RunResult, MemError> {
+) -> Result<RunResult, QueryError> {
+    check_source(source, csr.n())?;
     let (res, ready) = prepare(dev, csr, cfg, alg == Algorithm::Bfs)?;
     // Single-shot semantics: preparation (upload, table copies) is part of
     // the measured total, so the query "starts" at time zero.
@@ -190,13 +226,13 @@ pub fn run_query(
     cfg: &EtaConfig,
     query_start: eta_mem::Ns,
     ready_ns: eta_mem::Ns,
-) -> Result<RunResult, MemError> {
+) -> Result<RunResult, QueryError> {
     assert!(
         !alg.needs_weights() || csr.is_weighted(),
         "{} needs an edge-weighted graph",
         alg.name()
     );
-    assert!((source as usize) < csr.n(), "source out of range");
+    check_source(source, csr.n())?;
     let n = csr.n() as u32;
     let m = csr.m() as u64;
     let tpb = cfg.threads_per_block;
@@ -647,7 +683,35 @@ mod tests {
         let g = test_graph();
         let mut dev = Device::new(GpuConfig::gtx1080ti_scaled(64 * 1024));
         let err = run(&mut dev, &g, 0, Algorithm::Bfs, &EtaConfig::without_um());
-        assert!(matches!(err, Err(MemError::Oom { .. })));
+        assert!(matches!(err, Err(QueryError::Mem(MemError::Oom { .. }))));
+    }
+
+    #[test]
+    fn out_of_range_source_is_a_typed_error_not_a_panic() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let mut dev = device();
+        let err = run(&mut dev, &g, 4, Algorithm::Bfs, &EtaConfig::paper()).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::SourceOutOfRange {
+                source: 4,
+                vertices: 4
+            }
+        );
+        // The boundary vertex itself is valid and traverses normally.
+        let r = run(&mut dev, &g, 3, Algorithm::Bfs, &EtaConfig::paper()).unwrap();
+        assert_eq!(r.labels[3], 0);
+    }
+
+    #[test]
+    fn released_resources_return_their_explicit_capacity() {
+        let g = test_graph();
+        let mut dev = device();
+        let before = dev.mem.explicit_used_bytes();
+        let (res, _) = prepare(&mut dev, &g, &EtaConfig::out_of_core(), true).unwrap();
+        assert!(dev.mem.explicit_used_bytes() > before);
+        res.release(&mut dev);
+        assert_eq!(dev.mem.explicit_used_bytes(), before);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Typed query-boundary errors.
+//!
+//! A traversal request can fail for two reasons: the caller asked about a
+//! vertex that does not exist, or the device could not hold the working
+//! set. Both used to be a mix of panics and raw [`MemError`]s; a serving
+//! layer that admits untrusted request streams needs them as values it can
+//! turn into per-request rejections instead of process aborts.
+
+use eta_mem::system::MemError;
+
+/// Why a query could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The requested source vertex id is not a vertex of the graph.
+    SourceOutOfRange { source: u32, vertices: usize },
+    /// Device memory management failed (the paper's "O.O.M").
+    Mem(MemError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::SourceOutOfRange { source, vertices } => write!(
+                f,
+                "source {source} out of range (graph has {vertices} vertices)"
+            ),
+            QueryError::Mem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<MemError> for QueryError {
+    fn from(e: MemError) -> Self {
+        QueryError::Mem(e)
+    }
+}
+
+/// Validates a source vertex id against a graph's vertex count.
+pub fn check_source(source: u32, vertices: usize) -> Result<(), QueryError> {
+    if (source as usize) < vertices {
+        Ok(())
+    } else {
+        Err(QueryError::SourceOutOfRange { source, vertices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_source_boundaries() {
+        assert!(check_source(0, 1).is_ok());
+        assert!(check_source(9, 10).is_ok());
+        let err = check_source(10, 10).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::SourceOutOfRange {
+                source: 10,
+                vertices: 10
+            }
+        );
+        assert!(err.to_string().contains("source 10 out of range"));
+    }
+
+    #[test]
+    fn mem_errors_convert_and_format() {
+        let e: QueryError = MemError::Oom {
+            requested_bytes: 8,
+            free_bytes: 4,
+        }
+        .into();
+        assert!(e.to_string().contains("out of device memory"));
+    }
+}

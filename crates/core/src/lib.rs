@@ -28,6 +28,7 @@ pub mod active_set;
 pub mod config;
 pub mod device_graph;
 pub mod engine;
+pub mod error;
 pub mod kernels;
 pub mod multi_bfs;
 pub mod pagerank;
@@ -37,10 +38,10 @@ pub mod udc;
 
 pub use config::{Algorithm, EtaConfig, TransferMode, UdcMode};
 pub use device_graph::DeviceGraph;
+pub use error::QueryError;
 pub use result::{IterationStats, RunResult};
 
 use eta_graph::Csr;
-use eta_mem::system::MemError;
 use eta_sim::{Device, GpuConfig};
 
 /// High-level facade: an EtaGraph instance bound to a host graph.
@@ -73,7 +74,7 @@ impl<'g> EtaGraph<'g> {
     }
 
     /// Runs `alg` from `source` and returns labels plus measurements.
-    pub fn run(&self, alg: Algorithm, source: u32) -> Result<RunResult, MemError> {
+    pub fn run(&self, alg: Algorithm, source: u32) -> Result<RunResult, QueryError> {
         let mut dev = Device::new(self.gpu);
         engine::run(&mut dev, self.graph, source, alg, &self.cfg)
     }
@@ -84,7 +85,7 @@ impl<'g> EtaGraph<'g> {
         dev: &mut Device,
         alg: Algorithm,
         source: u32,
-    ) -> Result<RunResult, MemError> {
+    ) -> Result<RunResult, QueryError> {
         engine::run(dev, self.graph, source, alg, &self.cfg)
     }
 }

@@ -15,6 +15,7 @@
 use crate::active_set::{DeviceQueue, VirtualQueue};
 use crate::config::EtaConfig;
 use crate::device_graph::DeviceGraph;
+use crate::error::{check_source, QueryError};
 use crate::udc::ActToVirtKernel;
 use eta_graph::Csr;
 use eta_mem::system::{DSlice, MemError};
@@ -23,6 +24,82 @@ use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 
 /// Maximum concurrent sources per batch (one bit per source in a word).
 pub const MAX_BATCH: usize = 32;
+
+/// Device state a batched BFS needs besides the topology: reach masks,
+/// per-source levels (sized for a full 32-wide batch), and work queues.
+/// Built once, reusable across batches — the serving layer keeps one per
+/// resident graph so repeated batch launches pay no allocation.
+pub struct MultiBfsResources {
+    fresh: DSlice,
+    joint: DSlice,
+    next_fresh: DSlice,
+    /// `n * MAX_BATCH` words; a batch of `b` sources uses the first `n*b`.
+    levels: DSlice,
+    act: DeviceQueue,
+    next: DeviceQueue,
+    full: VirtualQueue,
+    partial: VirtualQueue,
+    n: u32,
+}
+
+impl MultiBfsResources {
+    /// Allocates batch state for `csr` on `dev` (explicit device memory).
+    /// All-or-nothing: a footprint that does not fit fails upfront without
+    /// committing any allocation, so callers' admission accounting stays
+    /// exact.
+    pub fn alloc(dev: &mut Device, csr: &Csr, cfg: &EtaConfig) -> Result<Self, MemError> {
+        let need = Self::footprint_bytes(csr, cfg);
+        if dev.mem.free_bytes() < need {
+            return Err(MemError::Oom {
+                requested_bytes: need,
+                free_bytes: dev.mem.free_bytes(),
+            });
+        }
+        let n = csr.n() as u32;
+        Ok(MultiBfsResources {
+            fresh: dev.mem.alloc_explicit(n as u64)?,
+            joint: dev.mem.alloc_explicit(n as u64)?,
+            next_fresh: dev.mem.alloc_explicit(n as u64)?,
+            levels: dev.mem.alloc_explicit(n as u64 * MAX_BATCH as u64)?,
+            act: DeviceQueue::alloc(dev, n)?,
+            next: DeviceQueue::alloc(dev, n)?,
+            full: VirtualQueue::alloc(dev, Self::full_cap(csr, cfg))?,
+            partial: VirtualQueue::alloc(dev, n)?,
+            n,
+        })
+    }
+
+    fn full_cap(csr: &Csr, cfg: &EtaConfig) -> u32 {
+        (csr.m() as u32 / cfg.k).max(1) + 1
+    }
+
+    /// Explicit device bytes [`MultiBfsResources::alloc`] will request —
+    /// kept in sync with it so admission control can test a footprint
+    /// before committing device memory.
+    pub fn footprint_bytes(csr: &Csr, cfg: &EtaConfig) -> u64 {
+        let n = csr.n() as u64;
+        let queue = |cap: u64| cap.max(1) + 1; // items + count
+        let vqueue = |cap: u64| 3 * cap.max(1) + 1; // ids/starts/ends + count
+        let words = 3 * n
+            + n * MAX_BATCH as u64
+            + queue(n)
+            + queue(n)
+            + vqueue(Self::full_cap(csr, cfg) as u64)
+            + vqueue(n);
+        words * 4
+    }
+
+    /// Returns every allocation's capacity to the device (eviction path).
+    pub fn release(self, dev: &mut Device) {
+        for s in [self.fresh, self.joint, self.next_fresh, self.levels] {
+            dev.mem.free_explicit(s);
+        }
+        self.act.release(dev);
+        self.next.release(dev);
+        self.full.release(dev);
+        self.partial.release(dev);
+    }
+}
 
 /// Result of one batched multi-source BFS.
 #[derive(Debug, Clone)]
@@ -171,35 +248,53 @@ impl Kernel for SwapFreshKernel {
     }
 }
 
-/// Runs up to 32 BFS queries in one batched traversal.
+/// Runs up to 32 BFS queries in one batched traversal on a fresh device
+/// (upload + allocate + traverse; total time includes the upload).
 pub fn run(
     dev: &mut Device,
     csr: &Csr,
     sources: &[u32],
     cfg: &EtaConfig,
-) -> Result<MultiBfsResult, MemError> {
+) -> Result<MultiBfsResult, QueryError> {
+    let (dg, t_up) = DeviceGraph::upload(dev, csr, cfg.transfer, 0)?;
+    let res = MultiBfsResources::alloc(dev, csr, cfg)?;
+    let mut r = run_on(dev, &dg, &res, sources, cfg, t_up)?;
+    r.total_ns += t_up;
+    Ok(r)
+}
+
+/// Runs one batch on already-prepared resources, starting at `start` on the
+/// session clock. [`MultiBfsResult::total_ns`] is the batch's duration from
+/// `start`; per-query state (masks, levels, seeds) is re-initialized and
+/// charged, so the resources are immediately reusable for the next batch.
+pub fn run_on(
+    dev: &mut Device,
+    dg: &DeviceGraph,
+    res: &MultiBfsResources,
+    sources: &[u32],
+    cfg: &EtaConfig,
+    start: Ns,
+) -> Result<MultiBfsResult, QueryError> {
     assert!(
         !sources.is_empty() && sources.len() <= MAX_BATCH,
         "1..={MAX_BATCH} sources per batch"
     );
     for &s in sources {
-        assert!((s as usize) < csr.n(), "source {s} out of range");
+        check_source(s, res.n as usize)?;
     }
-    let n = csr.n() as u32;
+    let n = res.n;
     let b = sources.len();
     let tpb = cfg.threads_per_block;
+    let mut now = start;
 
-    let (dg, mut now) = DeviceGraph::upload(dev, csr, cfg.transfer, 0)?;
-
-    let fresh = dev.mem.alloc_explicit(n as u64)?;
-    let joint = dev.mem.alloc_explicit(n as u64)?;
-    let next_fresh = dev.mem.alloc_explicit(n as u64)?;
-    let levels = dev.mem.alloc_explicit(n as u64 * b as u64)?;
-    let act = DeviceQueue::alloc(dev, n)?;
-    let next = DeviceQueue::alloc(dev, n)?;
-    let full_cap = (csr.m() as u32 / cfg.k).max(1) + 1;
-    let full = VirtualQueue::alloc(dev, full_cap)?;
-    let partial = VirtualQueue::alloc(dev, n)?;
+    let fresh = res.fresh;
+    let joint = res.joint;
+    let next_fresh = res.next_fresh;
+    let levels = res.levels.slice(0, n as u64 * b as u64);
+    let act = res.act;
+    let next = res.next;
+    let full = res.full;
+    let partial = res.partial;
 
     // Initial state: each source carries its own bit at level 0. Sources
     // may repeat or collide on a vertex; bits just merge.
@@ -298,7 +393,7 @@ pub fn run(
         levels: out,
         iterations: iter,
         kernel_ns,
-        total_ns: now,
+        total_ns: now - start,
         metrics,
     })
 }
@@ -390,6 +485,46 @@ mod tests {
             "batched {} vs sequential {} kernel ns",
             batched.kernel_ns,
             sequential_kernel_ns
+        );
+    }
+
+    #[test]
+    fn resources_reuse_across_batches_and_footprint_is_exact() {
+        let g = graph();
+        let mut dev = device();
+        let cfg = EtaConfig::paper();
+        let before = dev.mem.explicit_used_bytes();
+        let (dg, _) = DeviceGraph::upload(&mut dev, &g, cfg.transfer, 0).unwrap();
+        let res = MultiBfsResources::alloc(&mut dev, &g, &cfg).unwrap();
+        assert_eq!(
+            dev.mem.explicit_used_bytes() - before,
+            MultiBfsResources::footprint_bytes(&g, &cfg),
+            "footprint estimator must match what alloc actually takes"
+        );
+        // Two batches back-to-back on the same resources, clock advancing.
+        let r1 = run_on(&mut dev, &dg, &res, &[0, 7], &cfg, 0).unwrap();
+        let r2 = run_on(&mut dev, &dg, &res, &[3], &cfg, r1.total_ns).unwrap();
+        assert_eq!(r1.levels[0], reference::bfs(&g, 0));
+        assert_eq!(r1.levels[1], reference::bfs(&g, 7));
+        assert_eq!(r2.levels[0], reference::bfs(&g, 3));
+        // Eviction path: everything explicit comes back.
+        res.release(&mut dev);
+        dg.release(&mut dev);
+        assert_eq!(dev.mem.explicit_used_bytes(), before);
+    }
+
+    #[test]
+    fn out_of_range_batch_source_is_a_typed_error() {
+        let g = graph();
+        let mut dev = device();
+        let bad = g.n() as u32;
+        let err = run(&mut dev, &g, &[0, bad], &EtaConfig::paper()).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::QueryError::SourceOutOfRange {
+                source: bad,
+                vertices: g.n()
+            }
         );
     }
 

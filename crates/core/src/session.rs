@@ -21,6 +21,8 @@
 
 use crate::config::{Algorithm, EtaConfig};
 use crate::engine::{self, QueryResources};
+use crate::error::QueryError;
+use crate::multi_bfs::{self, MultiBfsResources, MultiBfsResult};
 use crate::result::RunResult;
 use eta_graph::Csr;
 use eta_mem::system::MemError;
@@ -33,6 +35,8 @@ pub struct Session<'g> {
     csr: &'g Csr,
     cfg: EtaConfig,
     res: QueryResources,
+    /// Batched-BFS state, allocated on the first [`Session::query_batch`].
+    multi: Option<MultiBfsResources>,
     /// Simulated wall clock: advances across queries.
     clock_ns: Ns,
     queries: u32,
@@ -55,6 +59,7 @@ impl<'g> Session<'g> {
             csr,
             cfg,
             res,
+            multi: None,
             clock_ns: ready,
             queries: 0,
         })
@@ -65,7 +70,7 @@ impl<'g> Session<'g> {
     ///
     /// The returned [`RunResult::total_ns`] is this query's duration;
     /// `um_stats` accumulates across the session's lifetime.
-    pub fn query(&mut self, alg: Algorithm, source: u32) -> Result<RunResult, MemError> {
+    pub fn query(&mut self, alg: Algorithm, source: u32) -> Result<RunResult, QueryError> {
         let start = self.clock_ns;
         let r = engine::run_query(
             &mut self.dev,
@@ -79,6 +84,33 @@ impl<'g> Session<'g> {
         )?;
         self.clock_ns = start + r.total_ns;
         self.queries += 1;
+        Ok(r)
+    }
+
+    /// Answers up to 32 BFS queries in one batched traversal (the iBFS
+    /// sharing of [`crate::multi_bfs`]): one topology read serves every
+    /// source in the batch. Batch state is allocated lazily on first use
+    /// and reused afterwards; each source counts as one query.
+    pub fn query_batch(&mut self, sources: &[u32]) -> Result<MultiBfsResult, QueryError> {
+        if self.multi.is_none() {
+            self.multi = Some(MultiBfsResources::alloc(
+                &mut self.dev,
+                self.csr,
+                &self.cfg,
+            )?);
+        }
+        let res = self.multi.as_ref().expect("just allocated");
+        let start = self.clock_ns;
+        let r = multi_bfs::run_on(
+            &mut self.dev,
+            self.res.device_graph(),
+            res,
+            sources,
+            &self.cfg,
+            start,
+        )?;
+        self.clock_ns = start + r.total_ns;
+        self.queries += sources.len() as u32;
         Ok(r)
     }
 
@@ -170,6 +202,49 @@ mod tests {
         // A weighted query on the same session ignores the pull machinery.
         let r = s.query(Algorithm::Sssp, 0).unwrap();
         assert_eq!(r.labels, reference::sssp(&g, 0));
+    }
+
+    #[test]
+    fn batched_queries_share_the_session_clock_and_match_reference() {
+        let g = graph();
+        let mut s = Session::new(&g, EtaConfig::paper()).unwrap();
+        let r = s.query_batch(&[0, 9, 77]).unwrap();
+        for (i, &src) in [0u32, 9, 77].iter().enumerate() {
+            assert_eq!(r.levels[i], reference::bfs(&g, src), "source {src}");
+        }
+        assert_eq!(s.queries_run(), 3);
+        let t1 = s.elapsed_ns();
+        assert!(t1 > 0);
+        // Second batch reuses the lazily-allocated resources and advances
+        // the clock from where the first left off.
+        let r2 = s.query_batch(&[5]).unwrap();
+        assert_eq!(r2.levels[0], reference::bfs(&g, 5));
+        assert!(s.elapsed_ns() > t1);
+        assert_eq!(s.queries_run(), 4);
+        // Single-source queries interleave with batches on one session.
+        let single = s.query(Algorithm::Bfs, 5).unwrap();
+        assert_eq!(single.labels, reference::bfs(&g, 5));
+    }
+
+    #[test]
+    fn invalid_sources_are_typed_errors_on_a_live_session() {
+        let g = graph();
+        let n = g.n() as u32;
+        let mut s = Session::new(&g, EtaConfig::paper()).unwrap();
+        let err = s.query(Algorithm::Bfs, n).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::QueryError::SourceOutOfRange { source, vertices }
+                if source == n && vertices == g.n()
+        ));
+        let err = s.query_batch(&[0, n + 7]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::QueryError::SourceOutOfRange { source, .. } if source == n + 7
+        ));
+        // The session stays usable after a rejected request.
+        let r = s.query(Algorithm::Bfs, 0).unwrap();
+        assert_eq!(r.labels, reference::bfs(&g, 0));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 use crate::csr::Csr;
 
 /// SplitMix64: cheap counter-based RNG, one stream per (seed, index).
+/// Public so workload generators elsewhere (e.g. the serving layer's
+/// Poisson arrivals) can share the repository's one deterministic RNG.
 #[inline]
-pub(crate) fn splitmix(seed: u64, index: u64) -> u64 {
+pub fn splitmix(seed: u64, index: u64) -> u64 {
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
@@ -28,7 +30,7 @@ pub(crate) fn splitmix(seed: u64, index: u64) -> u64 {
 
 /// Uniform f64 in [0, 1).
 #[inline]
-fn unit(seed: u64, index: u64) -> f64 {
+pub fn unit(seed: u64, index: u64) -> f64 {
     (splitmix(seed, index) >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -296,6 +296,15 @@ impl MemSystem {
         }
     }
 
+    /// Retires a unified region: drops its page residency so the bytes
+    /// return to the UM budget. No-op for explicit and zero-copy regions
+    /// (free those with [`MemSystem::free_explicit`]).
+    pub fn invalidate_unified(&mut self, slice: DSlice) {
+        if let RegionKind::Unified { um_index } = self.regions[slice.region].kind {
+            self.um.invalidate_region(um_index);
+        }
+    }
+
     // ---- host-side data access (no timing) -------------------------------
 
     /// Host write without transfer cost (dataset construction before timing).

@@ -417,6 +417,30 @@ impl UmDriver {
         end
     }
 
+    /// Drops one region's residency (the allocation is being retired, e.g.
+    /// a served graph evicted from the registry). Its device bytes return
+    /// to the UM budget; the host-backed storage itself is bump-allocated
+    /// and not reclaimed, like [`crate::system::MemSystem::free_explicit`].
+    pub fn invalidate_region(&mut self, region_idx: usize) {
+        let region = &mut self.regions[region_idx];
+        let mut freed = 0u64;
+        for (pi, st) in region.pages.iter_mut().enumerate() {
+            if st.resident {
+                freed += {
+                    let start_w = pi as u64 * PAGE_WORDS;
+                    let end_w = (start_w + PAGE_WORDS).min(region.len_words);
+                    (end_w - start_w) * 4
+                };
+            }
+            st.resident = false;
+            st.arrival = 0;
+            st.last_access = 0;
+        }
+        region.last_batch_end = usize::MAX;
+        region.streak = 0;
+        self.resident_bytes -= freed;
+    }
+
     /// Drops all residency (new experiment on the same data).
     pub fn invalidate_all(&mut self) {
         for region in &mut self.regions {
@@ -590,6 +614,24 @@ mod tests {
         assert_eq!(d.stats.batch_min_bytes(), FAULT_GROUP_BYTES);
         assert!(d.stats.batch_avg_bytes() > 0.0);
         assert!(d.stats.batch_max_bytes() <= MAX_BATCH_BYTES);
+    }
+
+    #[test]
+    fn invalidate_region_returns_only_its_bytes() {
+        let mut d = UmDriver::new();
+        let a = d.add_region(UmRegion::new(0, 16 * PAGE_WORDS));
+        let b = d.add_region(UmRegion::new(16 * PAGE_WORDS, 16 * PAGE_WORDS));
+        let mut l = link();
+        d.prefetch(a, 0, u64::MAX, &mut l);
+        d.prefetch(b, 0, u64::MAX, &mut l);
+        let both = d.resident_bytes();
+        d.invalidate_region(a);
+        assert_eq!(d.resident_bytes(), both / 2, "only region a's bytes freed");
+        assert_eq!(d.region(a).resident_pages(), 0);
+        assert_eq!(d.region(b).resident_pages(), 16);
+        // Idempotent: a second invalidation frees nothing more.
+        d.invalidate_region(a);
+        assert_eq!(d.resident_bytes(), both / 2);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! `eta-serve` — a deterministic, simulated-time traversal query service on
+//! top of the EtaGraph engine.
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic from many
+//! users; until now a query entered the repository only through one warm
+//! [`etagraph::session::Session`]. This crate adds the missing layer: a
+//! *stream* of traversal requests scheduled onto simulated devices.
+//!
+//! * [`registry`] — named graphs a tenant can query by name.
+//! * [`pool`] — N simulated [`eta_sim::Device`]s, each with its own clock,
+//!   per-graph device residency (topology + batch state), admission by
+//!   allocation footprint, and LRU eviction when a new graph does not fit.
+//! * [`sched`] — a priority + deadline-aware queue with backpressure
+//!   (bounded queue, reject-with-reason), per-request timeouts, and BFS
+//!   *source batching*: up to 32 same-graph requests coalesce into one
+//!   [`etagraph::multi_bfs`] launch, so one topology read serves the batch.
+//! * [`workload`] — an open-loop Poisson arrival generator (seeded SplitMix
+//!   streams, no wall clock) for driving the service reproducibly.
+//! * [`report`] — per-request latency decomposition (queue wait, transfer,
+//!   compute) and per-device utilization, as plain serializable records;
+//!   percentile math lives in `eta-bench`'s `stats` module.
+//!
+//! Everything is deterministic: the same registry, config, and trace produce
+//! byte-identical reports, because all time is simulated and all randomness
+//! is counter-based.
+//!
+//! ```
+//! use eta_graph::generate::{rmat, RmatConfig};
+//! use eta_serve::{GraphRegistry, ServeConfig, Service, WorkloadConfig};
+//!
+//! let mut registry = GraphRegistry::new();
+//! registry.insert("toy", rmat(&RmatConfig::paper(10, 8_000, 1)));
+//! let trace = eta_serve::poisson_trace(
+//!     &registry,
+//!     &["toy".to_string()],
+//!     &WorkloadConfig { requests: 40, ..WorkloadConfig::default() },
+//! );
+//! let mut service = Service::new(&registry, ServeConfig::default());
+//! let report = service.run(&trace);
+//! assert_eq!(report.completed as usize + report.rejections.len(), 40);
+//! ```
+
+pub mod pool;
+pub mod registry;
+pub mod report;
+pub mod request;
+pub mod sched;
+pub mod workload;
+
+pub use pool::DeviceWorker;
+pub use registry::GraphRegistry;
+pub use report::{BatchRecord, DeviceStats, RequestRecord, ServeReport};
+pub use request::{Priority, RejectReason, Rejection, Request};
+pub use sched::{Policy, ServeConfig, Service};
+pub use workload::{poisson_trace, WorkloadConfig};

@@ -1,0 +1,109 @@
+//! The service's request vocabulary: what a tenant asks for, and the typed
+//! reasons the service may refuse.
+
+use eta_mem::Ns;
+use serde::Serialize;
+
+/// Scheduling class. Interactive requests are ordered ahead of batch
+/// requests under [`crate::sched::Policy::PriorityDeadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Priority {
+    Interactive,
+    Batch,
+}
+
+impl Priority {
+    /// Queue ordering rank (lower runs first).
+    pub fn rank(self) -> u32 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// One BFS traversal request against a named graph.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: u32,
+    /// Registry name of the graph to traverse.
+    pub graph: String,
+    pub class: Priority,
+    pub source: u32,
+    /// Absolute arrival time on the service clock.
+    pub arrival_ns: Ns,
+    /// Absolute completion deadline (the request's SLO); `None` = best
+    /// effort. Deadlines order dispatch but never cause a drop.
+    pub deadline_ns: Option<Ns>,
+    /// Maximum queue wait; a request older than this at dispatch time is
+    /// dropped with [`RejectReason::TimedOut`].
+    pub timeout_ns: Option<Ns>,
+}
+
+/// Why the service refused a request. Every reject is a value, never a
+/// panic — an admission layer facing untrusted streams must degrade
+/// per-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RejectReason {
+    /// Backpressure: the bounded queue is at capacity.
+    QueueFull,
+    /// The named graph is not in the registry.
+    UnknownGraph,
+    /// The source vertex id is not a vertex of the graph.
+    SourceOutOfRange,
+    /// The request waited longer than its timeout.
+    TimedOut,
+    /// The graph's device footprint cannot fit the device, even alone.
+    AdmissionDenied,
+}
+
+impl RejectReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::UnknownGraph => "unknown_graph",
+            RejectReason::SourceOutOfRange => "source_out_of_range",
+            RejectReason::TimedOut => "timed_out",
+            RejectReason::AdmissionDenied => "admission_denied",
+        }
+    }
+}
+
+/// A refused request: which one, why, and when.
+#[derive(Debug, Clone, Serialize)]
+pub struct Rejection {
+    pub id: u32,
+    pub reason: RejectReason,
+    pub at_ns: Ns,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ranks_interactive_first() {
+        assert!(Priority::Interactive.rank() < Priority::Batch.rank());
+        assert_eq!(Priority::Interactive.name(), "interactive");
+    }
+
+    #[test]
+    fn reject_reasons_have_stable_names() {
+        for (reason, name) in [
+            (RejectReason::QueueFull, "queue_full"),
+            (RejectReason::UnknownGraph, "unknown_graph"),
+            (RejectReason::SourceOutOfRange, "source_out_of_range"),
+            (RejectReason::TimedOut, "timed_out"),
+            (RejectReason::AdmissionDenied, "admission_denied"),
+        ] {
+            assert_eq!(reason.name(), name);
+        }
+    }
+}

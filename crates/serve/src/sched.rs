@@ -1,0 +1,491 @@
+//! The scheduler: a bounded admission queue in front of the device pool,
+//! with priority/deadline ordering and same-graph source batching.
+//!
+//! The service is a discrete-event simulation driven by one scalar clock.
+//! Two kinds of events exist — a request arrives, a device frees up — and
+//! between events the scheduler greedily dispatches: it picks the
+//! highest-ordered queued request, coalesces up to `max_batch` queued
+//! requests for the *same graph* into one [`etagraph::multi_bfs`] launch
+//! (one topology read serves all of them), and places the batch on the
+//! lowest-numbered idle device. Ties everywhere break on request id or
+//! device id, so a trace replays to byte-identical reports.
+
+use crate::pool::DeviceWorker;
+use crate::registry::GraphRegistry;
+use crate::report::{BatchRecord, DeviceStats, RequestRecord, ServeReport};
+use crate::request::{RejectReason, Rejection, Request};
+use eta_mem::Ns;
+use eta_sim::GpuConfig;
+use etagraph::multi_bfs::MAX_BATCH;
+use etagraph::EtaConfig;
+use serde::Serialize;
+
+/// Dispatch-order policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Policy {
+    /// Strict arrival order, ties on id.
+    Fifo,
+    /// Interactive before batch, then earliest deadline, then arrival.
+    PriorityDeadline,
+}
+
+impl Policy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::PriorityDeadline => "priority_deadline",
+        }
+    }
+}
+
+/// Service shape: how many devices, how they are configured, and how the
+/// queue behaves.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated devices in the pool.
+    pub devices: usize,
+    /// Configuration each device is built with.
+    pub gpu: GpuConfig,
+    /// Engine configuration (K, SMP, transfer mode) used for every batch.
+    pub eta: EtaConfig,
+    /// Bounded queue size; arrivals beyond it are rejected (backpressure).
+    pub queue_capacity: usize,
+    /// Max same-graph requests coalesced per launch (1 = no batching,
+    /// up to [`MAX_BATCH`]).
+    pub max_batch: usize,
+    pub policy: Policy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 1,
+            gpu: GpuConfig::default_preset(),
+            eta: EtaConfig::paper(),
+            queue_capacity: 256,
+            max_batch: MAX_BATCH,
+            policy: Policy::PriorityDeadline,
+        }
+    }
+}
+
+/// The running service: registry + device pool + scheduler state.
+pub struct Service<'r> {
+    registry: &'r GraphRegistry,
+    cfg: ServeConfig,
+    workers: Vec<DeviceWorker>,
+}
+
+impl<'r> Service<'r> {
+    pub fn new(registry: &'r GraphRegistry, cfg: ServeConfig) -> Self {
+        assert!(cfg.devices >= 1, "need at least one device");
+        assert!(
+            (1..=MAX_BATCH).contains(&cfg.max_batch),
+            "max_batch must be 1..={MAX_BATCH}"
+        );
+        let workers = (0..cfg.devices)
+            .map(|id| DeviceWorker::new(id, cfg.gpu))
+            .collect();
+        Service {
+            registry,
+            cfg,
+            workers,
+        }
+    }
+
+    /// The device pool, for post-run inspection (e.g. sanitizer reports).
+    pub fn workers(&self) -> &[DeviceWorker] {
+        &self.workers
+    }
+
+    /// Serves `trace` (must be sorted by arrival time) to completion and
+    /// reports what happened. Deterministic: same registry, config, and
+    /// trace produce an identical report.
+    pub fn run(&mut self, trace: &[Request]) -> ServeReport {
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "trace must be sorted by arrival time"
+        );
+        let mut queue: Vec<Request> = Vec::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut batches: Vec<BatchRecord> = Vec::new();
+        let mut next = 0usize;
+        let mut now: Ns = 0;
+        loop {
+            while next < trace.len() && trace[next].arrival_ns <= now {
+                self.admit(&trace[next], now, &mut queue, &mut rejections);
+                next += 1;
+            }
+            if !queue.is_empty() && self.workers.iter().any(|w| w.free_at <= now) {
+                self.dispatch(now, &mut queue, &mut records, &mut rejections, &mut batches);
+                continue;
+            }
+            // Nothing dispatchable: advance to the next event.
+            let t_arrival = trace.get(next).map(|r| r.arrival_ns);
+            let t_free = if queue.is_empty() {
+                None // an idle device with an empty queue is not an event
+            } else {
+                self.workers
+                    .iter()
+                    .map(|w| w.free_at)
+                    .filter(|&t| t > now)
+                    .min()
+            };
+            match [t_arrival, t_free].into_iter().flatten().min() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        self.finish(records, rejections, batches)
+    }
+
+    /// Admission control at arrival time. Every refusal is a typed
+    /// [`Rejection`]; admitted requests enter the bounded queue.
+    fn admit(
+        &self,
+        req: &Request,
+        now: Ns,
+        queue: &mut Vec<Request>,
+        rejections: &mut Vec<Rejection>,
+    ) {
+        let mut reject = |reason| {
+            rejections.push(Rejection {
+                id: req.id,
+                reason,
+                at_ns: now,
+            })
+        };
+        let Some(csr) = self.registry.get(&req.graph) else {
+            return reject(RejectReason::UnknownGraph);
+        };
+        if req.source as usize >= csr.n() {
+            return reject(RejectReason::SourceOutOfRange);
+        }
+        // A graph whose footprint exceeds the device even when it is the
+        // sole tenant can never be served; refuse it upfront rather than
+        // letting it evict everyone else and still fail.
+        let capacity = self.workers[0].dev.mem.capacity_bytes();
+        if DeviceWorker::footprint_bytes(csr, &self.cfg.eta) > capacity {
+            return reject(RejectReason::AdmissionDenied);
+        }
+        if queue.len() >= self.cfg.queue_capacity {
+            return reject(RejectReason::QueueFull);
+        }
+        queue.push(req.clone());
+    }
+
+    /// One dispatch decision at time `now`: drop expired requests, order
+    /// the queue by policy, coalesce the head's graph-mates into a batch,
+    /// and run it on the lowest-numbered idle device.
+    fn dispatch(
+        &mut self,
+        now: Ns,
+        queue: &mut Vec<Request>,
+        records: &mut Vec<RequestRecord>,
+        rejections: &mut Vec<Rejection>,
+        batches: &mut Vec<BatchRecord>,
+    ) {
+        queue.retain(|r| match r.timeout_ns {
+            Some(limit) if now - r.arrival_ns > limit => {
+                rejections.push(Rejection {
+                    id: r.id,
+                    reason: RejectReason::TimedOut,
+                    at_ns: now,
+                });
+                false
+            }
+            _ => true,
+        });
+        if queue.is_empty() {
+            return;
+        }
+        match self.cfg.policy {
+            Policy::Fifo => queue.sort_by_key(|r| (r.arrival_ns, r.id)),
+            Policy::PriorityDeadline => queue.sort_by_key(|r| {
+                (
+                    r.class.rank(),
+                    r.deadline_ns.unwrap_or(Ns::MAX),
+                    r.arrival_ns,
+                    r.id,
+                )
+            }),
+        }
+        // The head defines the batch's graph; later queue entries for the
+        // same graph ride along, up to `max_batch`.
+        let graph = queue[0].graph.clone();
+        let mut batch: Vec<Request> = Vec::new();
+        queue.retain(|r| {
+            if batch.len() < self.cfg.max_batch && r.graph == graph {
+                batch.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let worker = self
+            .workers
+            .iter_mut()
+            .find(|w| w.free_at <= now)
+            .expect("dispatch requires an idle worker");
+        let csr = self.registry.get(&graph).expect("validated at admission");
+        let cfg = &self.cfg.eta;
+        let ready = match worker.ensure_resident(&graph, csr, cfg, now) {
+            Ok(t) => t,
+            Err(_) => {
+                // The pool could not make room (e.g. memory fragmentation
+                // across co-resident tenants). Refuse this batch; the rest
+                // of the queue keeps flowing.
+                for r in &batch {
+                    rejections.push(Rejection {
+                        id: r.id,
+                        reason: RejectReason::AdmissionDenied,
+                        at_ns: now,
+                    });
+                }
+                return;
+            }
+        };
+        worker.pin(&graph);
+        let sources: Vec<u32> = batch.iter().map(|r| r.source).collect();
+        let result = worker
+            .run_batch(&graph, &sources, cfg, ready)
+            .expect("sources validated at admission");
+        worker.unpin(&graph);
+        let completion = ready + result.total_ns;
+        worker.busy_ns += completion - now;
+        worker.free_at = completion;
+        batches.push(BatchRecord {
+            device: worker.id as u32,
+            graph: graph.clone(),
+            size: batch.len() as u32,
+            dispatched_ns: now,
+            started_ns: ready,
+            completed_ns: completion,
+        });
+        for (k, r) in batch.iter().enumerate() {
+            let reached = result.levels[k].iter().filter(|&&l| l != u32::MAX).count() as u32;
+            records.push(RequestRecord {
+                id: r.id,
+                graph: r.graph.clone(),
+                class: r.class,
+                source: r.source,
+                arrival_ns: r.arrival_ns,
+                queue_wait_ns: now - r.arrival_ns,
+                transfer_ns: (completion - now) - result.kernel_ns,
+                compute_ns: result.kernel_ns,
+                latency_ns: completion - r.arrival_ns,
+                batch_size: batch.len() as u32,
+                device: worker.id as u32,
+                reached,
+                deadline_met: r.deadline_ns.map(|d| completion <= d),
+            });
+        }
+    }
+
+    /// Assembles the final report: makespan, throughput, per-device stats.
+    fn finish(
+        &self,
+        mut records: Vec<RequestRecord>,
+        mut rejections: Vec<Rejection>,
+        batches: Vec<BatchRecord>,
+    ) -> ServeReport {
+        records.sort_by_key(|r| r.id);
+        rejections.sort_by_key(|r| r.id);
+        let makespan_ns = batches.iter().map(|b| b.completed_ns).max().unwrap_or(0);
+        let throughput_qps = if makespan_ns == 0 {
+            0.0
+        } else {
+            records.len() as f64 / (makespan_ns as f64 / 1e9)
+        };
+        let devices = self
+            .workers
+            .iter()
+            .map(|w| DeviceStats {
+                device: w.id as u32,
+                busy_ns: w.busy_ns,
+                utilization: if makespan_ns == 0 {
+                    0.0
+                } else {
+                    w.busy_ns as f64 / makespan_ns as f64
+                },
+                uploads: w.uploads,
+                evictions: w.evictions,
+            })
+            .collect();
+        ServeReport {
+            completed: records.len() as u32,
+            rejected: rejections.len() as u32,
+            makespan_ns,
+            throughput_qps,
+            records,
+            rejections,
+            batches,
+            devices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use eta_graph::generate::{rmat, RmatConfig};
+    use eta_graph::reference;
+
+    fn registry_with(names: &[(&str, u64)]) -> GraphRegistry {
+        let mut reg = GraphRegistry::new();
+        for &(name, seed) in names {
+            reg.insert(name, rmat(&RmatConfig::paper(10, 8_000, seed)));
+        }
+        reg
+    }
+
+    fn req(id: u32, graph: &str, source: u32, arrival_ns: Ns) -> Request {
+        Request {
+            id,
+            graph: graph.to_string(),
+            class: Priority::Batch,
+            source,
+            arrival_ns,
+            deadline_ns: None,
+            timeout_ns: None,
+        }
+    }
+
+    #[test]
+    fn simultaneous_same_graph_requests_share_one_launch() {
+        let reg = registry_with(&[("g", 1)]);
+        let trace: Vec<Request> = (0..5).map(|i| req(i, "g", i, 0)).collect();
+        let mut service = Service::new(&reg, ServeConfig::default());
+        let report = service.run(&trace);
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.batches.len(), 1, "5 waiting sources → one launch");
+        assert_eq!(report.batches[0].size, 5);
+        // Every answer matches the host reference.
+        let g = reg.get("g").unwrap();
+        for r in &report.records {
+            let levels = reference::bfs(g, r.source);
+            let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
+            assert_eq!(r.reached, reached, "request {} reach count", r.id);
+        }
+    }
+
+    #[test]
+    fn batching_cannot_lose_to_unbatched_fifo() {
+        let reg = registry_with(&[("g", 1)]);
+        let trace: Vec<Request> = (0..12).map(|i| req(i, "g", 3 * i, 0)).collect();
+        let batched = Service::new(&reg, ServeConfig::default()).run(&trace);
+        let unbatched = Service::new(
+            &reg,
+            ServeConfig {
+                max_batch: 1,
+                policy: Policy::Fifo,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&trace);
+        assert_eq!(batched.completed, 12);
+        assert_eq!(unbatched.completed, 12);
+        assert!(
+            batched.makespan_ns < unbatched.makespan_ns,
+            "batched {} ns should beat unbatched {} ns",
+            batched.makespan_ns,
+            unbatched.makespan_ns
+        );
+    }
+
+    #[test]
+    fn admission_rejects_with_typed_reasons() {
+        let reg = registry_with(&[("g", 1)]);
+        let n = reg.get("g").unwrap().n() as u32;
+        let trace = vec![
+            req(0, "nope", 0, 0),
+            req(1, "g", n, 0), // first out-of-range id
+            req(2, "g", 0, 0),
+        ];
+        let mut service = Service::new(&reg, ServeConfig::default());
+        let report = service.run(&trace);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rejections.len(), 2);
+        assert_eq!(report.rejections[0].reason, RejectReason::UnknownGraph);
+        assert_eq!(report.rejections[1].reason, RejectReason::SourceOutOfRange);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let reg = registry_with(&[("g", 1)]);
+        // Three arrive while the queue holds two: one launch is in flight
+        // (the t=0 request), two wait, the third bounces.
+        let trace = vec![
+            req(0, "g", 0, 0),
+            req(1, "g", 1, 1),
+            req(2, "g", 2, 1),
+            req(3, "g", 3, 1),
+        ];
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let report = Service::new(&reg, cfg).run(&trace);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.rejections.len(), 1);
+        assert_eq!(report.rejections[0].id, 3);
+        assert_eq!(report.rejections[0].reason, RejectReason::QueueFull);
+    }
+
+    #[test]
+    fn priority_policy_serves_interactive_first() {
+        let reg = registry_with(&[("a", 1), ("b", 2)]);
+        // One launch in flight; then a batch-class and an interactive
+        // request (different graphs, so they cannot share a launch).
+        let mut trace = vec![req(0, "a", 0, 0)];
+        let mut batch_req = req(1, "a", 1, 1);
+        batch_req.class = Priority::Batch;
+        let mut inter_req = req(2, "b", 2, 2);
+        inter_req.class = Priority::Interactive;
+        trace.push(batch_req);
+        trace.push(inter_req);
+        let report = Service::new(&reg, ServeConfig::default()).run(&trace);
+        assert_eq!(report.completed, 3);
+        let dispatched = |id: u32| {
+            let r = report.records.iter().find(|r| r.id == id).unwrap();
+            r.arrival_ns + r.queue_wait_ns
+        };
+        assert!(
+            dispatched(2) < dispatched(1),
+            "interactive request must dispatch before the earlier batch one"
+        );
+    }
+
+    #[test]
+    fn timeouts_drop_stale_requests_at_dispatch() {
+        let reg = registry_with(&[("g", 1)]);
+        let mut stale = req(1, "g", 1, 1);
+        stale.timeout_ns = Some(10); // far shorter than any BFS launch
+        let trace = vec![req(0, "g", 0, 0), stale, req(2, "g", 2, 2)];
+        let report = Service::new(&reg, ServeConfig::default()).run(&trace);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.rejections.len(), 1);
+        assert_eq!(report.rejections[0].id, 1);
+        assert_eq!(report.rejections[0].reason, RejectReason::TimedOut);
+    }
+
+    #[test]
+    fn two_devices_split_independent_graphs() {
+        let reg = registry_with(&[("a", 1), ("b", 2)]);
+        let trace = vec![req(0, "a", 0, 0), req(1, "b", 0, 0)];
+        let cfg = ServeConfig {
+            devices: 2,
+            ..ServeConfig::default()
+        };
+        let mut service = Service::new(&reg, cfg);
+        let report = service.run(&trace);
+        assert_eq!(report.completed, 2);
+        let used: Vec<u32> = report.batches.iter().map(|b| b.device).collect();
+        assert!(used.contains(&0) && used.contains(&1), "both devices used");
+        // Both launches start at t=0: the second was not serialized behind
+        // the first.
+        assert!(report.batches.iter().all(|b| b.dispatched_ns == 0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Open-loop workload generation: a Poisson arrival process over named
+//! graphs, driven entirely by counter-based SplitMix streams — no wall
+//! clock, no stateful RNG, so a `(seed, requests)` pair always produces the
+//! same trace.
+
+use crate::registry::GraphRegistry;
+use crate::request::{Priority, Request};
+use eta_graph::generate::{splitmix, unit};
+use eta_mem::Ns;
+
+/// Shape of a generated request stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    pub requests: u32,
+    pub seed: u64,
+    /// Mean arrival rate of the Poisson process, requests per simulated
+    /// second.
+    pub rate_per_s: f64,
+    /// Fraction of requests in the interactive class, in [0, 1].
+    pub interactive_fraction: f64,
+    /// Completion SLO attached to interactive requests (deadline =
+    /// arrival + SLO); `None` = no deadline.
+    pub interactive_slo_ns: Option<Ns>,
+    /// Completion SLO attached to batch-class requests.
+    pub batch_slo_ns: Option<Ns>,
+    /// Queue-wait timeout attached to every request.
+    pub timeout_ns: Option<Ns>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            requests: 200,
+            seed: 7,
+            rate_per_s: 2_000.0,
+            interactive_fraction: 0.5,
+            interactive_slo_ns: None,
+            batch_slo_ns: None,
+            timeout_ns: None,
+        }
+    }
+}
+
+/// Generates a Poisson-arrival trace of BFS requests over `graphs`.
+///
+/// Each request draws four independent SplitMix streams (inter-arrival gap,
+/// graph pick, source pick, class pick), so changing one knob never
+/// perturbs the other draws. Inter-arrival gaps are exponential via inverse
+/// CDF (`-ln(1-u)/rate`). Sources are drawn uniformly over the picked
+/// graph's vertices; a name missing from the registry keeps its raw draw
+/// (the service will refuse it as `UnknownGraph`, which is itself useful
+/// for rejection testing).
+pub fn poisson_trace(
+    registry: &GraphRegistry,
+    graphs: &[String],
+    cfg: &WorkloadConfig,
+) -> Vec<Request> {
+    assert!(!graphs.is_empty(), "need at least one graph name");
+    assert!(cfg.rate_per_s > 0.0, "arrival rate must be positive");
+    let mut arrival = 0f64;
+    let mut trace = Vec::with_capacity(cfg.requests as usize);
+    for i in 0..cfg.requests as u64 {
+        let gap_u = unit(cfg.seed, i * 4);
+        arrival += -(1.0 - gap_u).ln() * 1e9 / cfg.rate_per_s;
+        let graph = &graphs[(splitmix(cfg.seed, i * 4 + 1) % graphs.len() as u64) as usize];
+        let source = match registry.get(graph) {
+            Some(csr) => (splitmix(cfg.seed, i * 4 + 2) % csr.n().max(1) as u64) as u32,
+            None => splitmix(cfg.seed, i * 4 + 2) as u32,
+        };
+        let class = if unit(cfg.seed, i * 4 + 3) < cfg.interactive_fraction {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        };
+        let arrival_ns = arrival as Ns;
+        let slo = match class {
+            Priority::Interactive => cfg.interactive_slo_ns,
+            Priority::Batch => cfg.batch_slo_ns,
+        };
+        trace.push(Request {
+            id: i as u32,
+            graph: graph.clone(),
+            class,
+            source,
+            arrival_ns,
+            deadline_ns: slo.map(|s| arrival_ns + s),
+            timeout_ns: cfg.timeout_ns,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_graph::generate::{rmat, RmatConfig};
+
+    fn registry() -> GraphRegistry {
+        let mut reg = GraphRegistry::new();
+        reg.insert("g", rmat(&RmatConfig::paper(8, 1_000, 1)));
+        reg
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let reg = registry();
+        let names = vec!["g".to_string()];
+        let cfg = WorkloadConfig {
+            requests: 50,
+            ..WorkloadConfig::default()
+        };
+        let a = poisson_trace(&reg, &names, &cfg);
+        let b = poisson_trace(&reg, &names, &cfg);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.class, y.class);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        let n = reg.get("g").unwrap().n() as u32;
+        assert!(a.iter().all(|r| r.source < n));
+    }
+
+    #[test]
+    fn seeds_change_the_trace_and_slos_attach_by_class() {
+        let reg = registry();
+        let names = vec!["g".to_string()];
+        let base = WorkloadConfig {
+            requests: 40,
+            interactive_slo_ns: Some(1_000_000),
+            batch_slo_ns: None,
+            ..WorkloadConfig::default()
+        };
+        let a = poisson_trace(&reg, &names, &base);
+        let b = poisson_trace(
+            &reg,
+            &names,
+            &WorkloadConfig {
+                seed: 8,
+                ..base.clone()
+            },
+        );
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.arrival_ns != y.arrival_ns || x.source != y.source),
+            "different seeds must differ somewhere"
+        );
+        let mut interactive = 0;
+        for r in &a {
+            match r.class {
+                Priority::Interactive => {
+                    interactive += 1;
+                    assert_eq!(r.deadline_ns, Some(r.arrival_ns + 1_000_000));
+                }
+                Priority::Batch => assert_eq!(r.deadline_ns, None),
+            }
+        }
+        assert!(
+            interactive > 0 && interactive < 40,
+            "mixed classes expected, got {interactive}/40 interactive"
+        );
+    }
+}

@@ -210,17 +210,27 @@ proptest! {
     }
 
     /// Batched multi-source BFS equals per-source BFS for arbitrary graphs
-    /// and batch compositions.
+    /// and batch compositions, up to the full 32-wide reach mask, whether
+    /// launched one-shot or through a warm session. Exercises duplicate
+    /// sources and every batch width class (1, partial, full).
     #[test]
-    fn multi_bfs_equals_individual((g, src) in arb_weighted_with_source(), extra in proptest::collection::vec(any::<proptest::sample::Index>(), 1..6)) {
+    fn multi_bfs_equals_individual((g, src) in arb_weighted_with_source(), extra in proptest::collection::vec(any::<proptest::sample::Index>(), 0..31)) {
         let mut sources = vec![src];
         for idx in extra {
             sources.push(idx.index(g.n()) as u32);
         }
+        assert!(sources.len() <= etagraph::multi_bfs::MAX_BATCH);
         let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
         let r = etagraph::multi_bfs::run(&mut dev, &g, &sources, &EtaConfig::paper()).unwrap();
         for (s, &source) in sources.iter().enumerate() {
             prop_assert_eq!(&r.levels[s], &reference::bfs(&g, source), "source {}", source);
+        }
+        // The warm-session path (resources allocated once, reused) agrees
+        // with the one-shot path on the same batch.
+        let mut session = etagraph::session::Session::new(&g, EtaConfig::paper()).unwrap();
+        let warm = session.query_batch(&sources).unwrap();
+        for (s, &source) in sources.iter().enumerate() {
+            prop_assert_eq!(&warm.levels[s], &r.levels[s], "warm source {}", source);
         }
     }
 }

@@ -1,0 +1,230 @@
+//! Integration tests for the serving layer: the full registry → scheduler →
+//! device-pool → report path, including the acceptance contract that source
+//! batching strictly beats unbatched FIFO on the same trace.
+
+use eta_graph::generate::{rmat, RmatConfig};
+use eta_graph::reference;
+use eta_serve::{
+    poisson_trace, GraphRegistry, Policy, Request, ServeConfig, Service, WorkloadConfig,
+};
+use eta_sim::{GpuConfig, SanitizerMode};
+
+fn registry(graphs: &[(&str, u32, usize, u64)]) -> GraphRegistry {
+    let mut reg = GraphRegistry::new();
+    for &(name, scale, edges, seed) in graphs {
+        reg.insert(name, rmat(&RmatConfig::paper(scale, edges, seed)));
+    }
+    reg
+}
+
+fn two_tenants() -> (GraphRegistry, Vec<String>) {
+    let reg = registry(&[("a", 10, 8_000, 1), ("b", 10, 8_000, 2)]);
+    (reg, vec!["a".to_string(), "b".to_string()])
+}
+
+/// The tentpole claim: coalescing same-graph sources into one multi-BFS
+/// launch strictly reduces the simulated makespan versus dispatching the
+/// same trace one request at a time in FIFO order.
+#[test]
+fn batching_strictly_reduces_makespan_vs_unbatched_fifo() {
+    let (reg, names) = two_tenants();
+    // A rate high enough that requests pile up behind the device.
+    let workload = WorkloadConfig {
+        requests: 96,
+        seed: 7,
+        rate_per_s: 20_000.0,
+        ..WorkloadConfig::default()
+    };
+    let trace = poisson_trace(&reg, &names, &workload);
+    let batched = Service::new(&reg, ServeConfig::default()).run(&trace);
+    let unbatched = Service::new(
+        &reg,
+        ServeConfig {
+            max_batch: 1,
+            policy: Policy::Fifo,
+            ..ServeConfig::default()
+        },
+    )
+    .run(&trace);
+    assert_eq!(batched.completed, 96);
+    assert_eq!(unbatched.completed, 96);
+    assert!(batched.mean_batch_size() > 1.0);
+    assert!(
+        batched.makespan_ns < unbatched.makespan_ns,
+        "batched makespan {} ns must be strictly below unbatched {} ns",
+        batched.makespan_ns,
+        unbatched.makespan_ns
+    );
+    // Batching also lifts sustained throughput.
+    assert!(batched.throughput_qps > unbatched.throughput_qps);
+}
+
+/// Same registry + config + trace serialize to byte-identical JSON — the
+/// determinism contract the CLI relies on.
+#[test]
+fn repeated_runs_serialize_byte_identically() {
+    let (reg, names) = two_tenants();
+    let workload = WorkloadConfig {
+        requests: 60,
+        seed: 7,
+        rate_per_s: 8_000.0,
+        interactive_slo_ns: Some(2_000_000),
+        ..WorkloadConfig::default()
+    };
+    let run = || {
+        let trace = poisson_trace(&reg, &names, &workload);
+        let report = Service::new(&reg, ServeConfig::default()).run(&trace);
+        serde_json::to_string(&serde_json::to_value(&report).unwrap()).unwrap()
+    };
+    let first = run();
+    assert_eq!(first, run(), "same inputs must produce identical bytes");
+    // And the bytes actually carry the acceptance metrics.
+    assert!(first.contains("throughput_qps"));
+    assert!(first.contains("utilization"));
+}
+
+/// A full served workload under the sanitizer's Full mode stays clean on
+/// every device in the pool.
+#[test]
+fn served_workload_is_sanitizer_clean() {
+    let (reg, names) = two_tenants();
+    let workload = WorkloadConfig {
+        requests: 40,
+        seed: 7,
+        rate_per_s: 10_000.0,
+        ..WorkloadConfig::default()
+    };
+    let trace = poisson_trace(&reg, &names, &workload);
+    let cfg = ServeConfig {
+        devices: 2,
+        gpu: GpuConfig::default_preset().with_sanitizer(SanitizerMode::Full),
+        ..ServeConfig::default()
+    };
+    let mut service = Service::new(&reg, cfg);
+    let report = service.run(&trace);
+    assert_eq!(report.completed, 40);
+    for w in service.workers() {
+        let san = w.dev.sanitizer_report().expect("sanitizer attached");
+        assert!(san.launches > 0, "device {} served no kernels", w.id);
+        assert!(
+            san.is_clean(),
+            "device {} sanitizer findings:\n{}",
+            w.id,
+            san.summarize()
+        );
+    }
+}
+
+/// Under a device too small for both tenants, the pool evicts the idle
+/// graph and every completed answer still matches the host reference.
+#[test]
+fn eviction_churn_keeps_answers_correct() {
+    let reg = registry(&[("a", 10, 8_000, 1), ("b", 10, 8_000, 2)]);
+    let names = vec!["a".to_string(), "b".to_string()];
+    let one = eta_serve::DeviceWorker::footprint_bytes(
+        reg.get("a").unwrap(),
+        &etagraph::EtaConfig::paper(),
+    );
+    let workload = WorkloadConfig {
+        requests: 24,
+        seed: 3,
+        rate_per_s: 500.0, // slow arrivals: ping-pong between tenants
+        ..WorkloadConfig::default()
+    };
+    let trace = poisson_trace(&reg, &names, &workload);
+    let cfg = ServeConfig {
+        gpu: GpuConfig::gtx1080ti_scaled(one + one / 2),
+        ..ServeConfig::default()
+    };
+    let mut service = Service::new(&reg, cfg);
+    let report = service.run(&trace);
+    assert_eq!(report.completed, 24, "rejections: {:?}", report.rejections);
+    assert!(
+        report.devices[0].evictions > 0,
+        "alternating tenants on a 1.5x device must evict"
+    );
+    for r in &report.records {
+        let levels = reference::bfs(reg.get(&r.graph).unwrap(), r.source);
+        let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
+        assert_eq!(r.reached, reached, "request {} on {}", r.id, r.graph);
+    }
+}
+
+/// Per-request latency decomposition is internally consistent, and records
+/// arrive sorted by request id.
+#[test]
+fn latency_decomposition_adds_up() {
+    let (reg, names) = two_tenants();
+    let workload = WorkloadConfig {
+        requests: 50,
+        seed: 9,
+        rate_per_s: 6_000.0,
+        ..WorkloadConfig::default()
+    };
+    let trace = poisson_trace(&reg, &names, &workload);
+    let report = Service::new(&reg, ServeConfig::default()).run(&trace);
+    assert_eq!(report.completed, 50);
+    assert!(report.records.windows(2).all(|w| w[0].id < w[1].id));
+    for r in &report.records {
+        assert_eq!(
+            r.queue_wait_ns + r.transfer_ns + r.compute_ns,
+            r.latency_ns,
+            "request {} phases must sum to its latency",
+            r.id
+        );
+        assert!(r.batch_size >= 1 && r.batch_size <= 32);
+    }
+    let util = report.devices[0].utilization;
+    assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+}
+
+/// Hand-built trace: an unknown tenant, a queue overflow, and a timeout all
+/// surface as typed rejections while the rest of the trace completes.
+#[test]
+fn rejections_are_typed_and_do_not_poison_the_run() {
+    let reg = registry(&[("a", 10, 8_000, 1)]);
+    let mk = |id: u32, graph: &str, arrival: u64| Request {
+        id,
+        graph: graph.to_string(),
+        class: eta_serve::Priority::Batch,
+        source: id % 100,
+        arrival_ns: arrival,
+        deadline_ns: None,
+        timeout_ns: None,
+    };
+    let mut trace = vec![mk(0, "a", 0), mk(1, "ghost", 5)];
+    let mut stale = mk(2, "a", 6);
+    stale.timeout_ns = Some(1); // expires long before the device frees up
+    trace.push(stale);
+    // Burst past the 4-deep queue while request 0's launch is in flight.
+    for id in 3..11 {
+        trace.push(mk(id, "a", 10));
+    }
+    let cfg = ServeConfig {
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let report = Service::new(&reg, cfg).run(&trace);
+    let reason_of = |id: u32| {
+        report
+            .rejections
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.reason)
+    };
+    assert_eq!(reason_of(1), Some(eta_serve::RejectReason::UnknownGraph));
+    assert_eq!(reason_of(2), Some(eta_serve::RejectReason::TimedOut));
+    assert!(
+        report
+            .rejections
+            .iter()
+            .any(|r| r.reason == eta_serve::RejectReason::QueueFull),
+        "burst beyond queue capacity must bounce: {:?}",
+        report.rejections
+    );
+    assert_eq!(
+        report.completed as usize + report.rejections.len(),
+        trace.len()
+    );
+    assert!(report.completed >= 4);
+}
