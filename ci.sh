@@ -23,4 +23,14 @@ cargo build --workspace --all-targets --release
 echo "==> cargo test --workspace --release -q"
 cargo test --workspace --release -q
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> report profile smoke run (quick suite, temp dir)"
+PROFILE_OUT="$(mktemp -d)"
+trap 'rm -rf "$PROFILE_OUT"' EXIT
+cargo run --release -p eta-bench --bin report -- profile --quick --out "$PROFILE_OUT" >/dev/null
+test -s "$PROFILE_OUT/profile.txt" && test -s "$PROFILE_OUT/profile.json"
+grep -q "transfer/compute overlap" "$PROFILE_OUT/profile.txt"
+
 echo "ci: all gates passed"

@@ -16,9 +16,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN: [&str; 13] = [
+const KNOWN: [&str; 14] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize", "serve",
+    "extras", "sanitize", "serve", "profile",
 ];
 
 fn main() {
@@ -93,6 +93,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
             "livejournal"
         }),
         "serve" => eta_bench::serve_report::serve(suite),
+        "profile" => eta_bench::profile_report::profile(suite),
         _ => unreachable!("validated in main"),
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod extras;
 pub mod figs;
+pub mod profile_report;
 pub mod sanitize;
 pub mod serve_report;
 pub mod stats;

@@ -43,10 +43,10 @@ pub fn usage() -> String {
      etagraph info FILE [--json]\n\
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
      \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
-     \x20            [--device-mb MB] [--trace FILE] [--sanitize] [--json]\n\
+     \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
-     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--sanitize] [--json]\n\
+     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--profile FILE] [--sanitize] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph datasets [--json]"
         .to_string()
@@ -191,7 +191,43 @@ fn device_from(args: &Args) -> Result<Device, ArgError> {
     if args.switch("sanitize") {
         gpu = gpu.with_sanitizer(SanitizerMode::Full);
     }
+    if args.get("profile").is_some() {
+        gpu = gpu.with_profiling();
+    }
     Ok(Device::new(gpu))
+}
+
+/// With `--profile FILE`: writes the Chrome trace to FILE and appends the
+/// nvprof-style summary to the command's text and JSON output.
+fn attach_profile(
+    out: &mut Output,
+    profile: &eta_prof::Profile,
+    args: &Args,
+) -> Result<(), ArgError> {
+    let Some(path) = args.get("profile") else {
+        return Ok(());
+    };
+    std::fs::write(path, profile.to_chrome_trace())
+        .map_err(|e| ArgError(format!("writing profile {path}: {e}")))?;
+    out.text.push('\n');
+    out.text.push_str(&profile.summary_text());
+    let _ = writeln!(out.text, "chrome trace written to {path}");
+    if let serde_json::Value::Object(m) = &mut out.json {
+        let s = profile.summary();
+        m.insert(
+            "profile".into(),
+            json!({
+                "trace": path,
+                "events": s.event_count,
+                "kernel_busy_ns": s.kernel_busy_ns,
+                "transfer_busy_ns": s.transfer_busy_ns,
+                "overlap_ns": s.overlap_ns,
+                "overlap_fraction": s.overlap_fraction,
+                "makespan_ns": s.makespan_ns,
+            }),
+        );
+    }
+    Ok(())
 }
 
 /// Appends the sanitizer findings (if the run was sanitized) to a command's
@@ -310,6 +346,7 @@ fn run(args: &Args) -> Result<Output, ArgError> {
         text,
     };
     attach_sanitizer(&mut out, &dev);
+    attach_profile(&mut out, &dev.profile(), args)?;
     Ok(out)
 }
 
@@ -365,6 +402,7 @@ fn run_multi_bfs(args: &Args, g: &Csr, list: &str) -> Result<Output, ArgError> {
         text,
     };
     attach_sanitizer(&mut out, &dev);
+    attach_profile(&mut out, &dev.profile(), args)?;
     Ok(out)
 }
 
@@ -408,6 +446,7 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
         text,
     };
     attach_sanitizer(&mut out, &dev);
+    attach_profile(&mut out, &dev.profile(), args)?;
     Ok(out)
 }
 
@@ -477,6 +516,9 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
     let sanitize = args.switch("sanitize");
     if sanitize {
         gpu = gpu.with_sanitizer(SanitizerMode::Full);
+    }
+    if args.get("profile").is_some() {
+        gpu = gpu.with_profiling();
     }
     let max_batch = if args.switch("no-batch") {
         1
@@ -607,6 +649,7 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
             m.insert("sanitizer".into(), serde_json::Value::Array(reports));
         }
     }
+    attach_profile(&mut out, &service.profile(), args)?;
     Ok(out)
 }
 
@@ -777,6 +820,71 @@ mod tests {
         assert!(body.trim_end().ends_with(']'));
         std::fs::remove_file(&f).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn profile_flag_writes_deterministic_chrome_trace() {
+        let f = tmpfile("prof.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 10 --edges 16000 --out {f}"
+        )))
+        .unwrap();
+        let trace = tmpfile("run.profile.json");
+        let out = dispatch(argv(&format!("run {f} --alg bfs --profile {trace}"))).unwrap();
+        assert!(out.text.contains("==eta-prof=="), "{}", out.text);
+        assert!(
+            out.text.contains("transfer/compute overlap"),
+            "{}",
+            out.text
+        );
+        assert!(out.json["profile"]["events"].as_u64().unwrap() > 0);
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("\"name\":\"kernels\""), "kernel track named");
+        assert!(body.contains("\"name\":\"pcie transfers\""));
+        assert!(body.contains("\"ph\":\"X\""));
+        // Byte-identical on a repeated identical invocation.
+        let trace2 = tmpfile("run.profile2.json");
+        dispatch(argv(&format!("run {f} --alg bfs --profile {trace2}"))).unwrap();
+        assert_eq!(body, std::fs::read_to_string(&trace2).unwrap());
+        // Unprofiled runs attach nothing.
+        let plain = dispatch(argv(&format!("run {f} --alg bfs"))).unwrap();
+        assert!(plain.json["profile"].is_null());
+        for p in [f, trace, trace2] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn profile_flag_covers_serve_and_secondary_run_paths() {
+        let trace = tmpfile("serve.profile.json");
+        let out = dispatch(argv(&format!(
+            "serve --graph rmat10 --requests 20 --seed 7 --rate 5000 --profile {trace}"
+        )))
+        .unwrap();
+        assert!(out.text.contains("==eta-prof=="), "{}", out.text);
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"name\":\"scheduler\""), "scheduler process");
+        assert!(body.contains("\"name\":\"device0\""), "device process");
+        std::fs::remove_file(&trace).ok();
+
+        let f = tmpfile("prof-multi.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
+        let t1 = tmpfile("multi.profile.json");
+        let multi = dispatch(argv(&format!("run {f} --sources 0,1 --profile {t1}"))).unwrap();
+        assert!(multi.json["profile"]["events"].as_u64().unwrap() > 0);
+        let t2 = tmpfile("pr.profile.json");
+        let pr = dispatch(argv(&format!(
+            "run {f} --alg pagerank --iterations 3 --profile {t2}"
+        )))
+        .unwrap();
+        assert!(pr.json["profile"]["events"].as_u64().unwrap() > 0);
+        for p in [f, t1, t2] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]

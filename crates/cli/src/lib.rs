@@ -8,7 +8,12 @@
 //! etagraph info g.etag
 //! etagraph run g.etag --alg sssp --source 0 --json
 //! etagraph run g.etag --alg bfs --framework tigr --device-mb 32
+//! etagraph run g.etag --alg bfs --device-mb 2 --profile trace.json
 //! ```
+//!
+//! `--profile FILE` (on `run` and `serve`) enables `eta-prof`, prints the
+//! nvprof-style summary, and writes a Chrome trace_event JSON loadable in
+//! Perfetto; see PROFILING.md.
 
 pub mod args;
 pub mod commands;

@@ -33,6 +33,7 @@ use crate::result::{IterationStats, RunResult};
 use crate::udc::{ActToVirtKernel, ExpandFromTableKernel, ShadowTable};
 use eta_graph::Csr;
 use eta_mem::system::{DSlice, MemError};
+use eta_prof::Track;
 use eta_sim::{Device, KernelMetrics, LaunchConfig};
 
 /// Device-resident out-of-core shadow table.
@@ -403,6 +404,22 @@ pub fn run_query(
             .iter()
             .filter(|&&l| l != init_label)
             .count() as u64;
+        if dev.mem.prof.is_enabled() {
+            dev.mem.prof.record(
+                Track::Iteration,
+                alg.name(),
+                start_ns,
+                now,
+                vec![
+                    ("iteration", iter.into()),
+                    ("active", act_len.into()),
+                    ("shadow_full", nf.into()),
+                    ("shadow_partial", np.into()),
+                    ("pulled", use_pull.into()),
+                    ("visited_total", visited_total.into()),
+                ],
+            );
+        }
         per_iteration.push(IterationStats {
             iteration: iter,
             active: act_len,

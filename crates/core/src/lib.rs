@@ -19,6 +19,11 @@
 //! The modules follow the paper's structure: [`udc`] (§III), [`active_set`]
 //! and [`engine`] (§IV), [`kernels`] with SMP (§V), [`device_graph`] for the
 //! transfer policies (§IV-B), and [`config`] for the ablation axes.
+//!
+//! With profiling enabled (`GpuConfig::with_profiling`), the engine records
+//! one `eta-prof` event per iteration — frontier size, shadowing counts, and
+//! the push/pull decision — alongside the simulator's kernel and transfer
+//! events; see PROFILING.md and [`session::Session::profile`].
 
 // Kernels address per-lane register arrays by explicit lane index under an
 // active mask — the SIMT idiom this simulator exists to model. Iterator

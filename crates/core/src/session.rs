@@ -128,6 +128,14 @@ impl<'g> Session<'g> {
     pub fn device(&self) -> &Device {
         &self.dev
     }
+
+    /// The `eta-prof` profile accumulated across every query so far.
+    ///
+    /// Empty unless the session was built over
+    /// [`GpuConfig::with_profiling`] (see [`Session::with_gpu`]).
+    pub fn profile(&self) -> eta_prof::Profile {
+        self.dev.profile()
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +253,27 @@ mod tests {
         // The session stays usable after a rejected request.
         let r = s.query(Algorithm::Bfs, 0).unwrap();
         assert_eq!(r.labels, reference::bfs(&g, 0));
+    }
+
+    #[test]
+    fn profiled_session_records_kernels_iterations_and_transfers() {
+        let g = graph();
+        let gpu = eta_sim::GpuConfig::default_preset().with_profiling();
+        let mut s = Session::with_gpu(&g, EtaConfig::paper(), gpu).unwrap();
+        let r = s.query(Algorithm::Bfs, 0).unwrap();
+        let p = s.profile();
+        assert!(p.kernel_busy_ns() > 0, "kernel events missing");
+        assert!(p.transfer_busy_ns() > 0, "transfer events missing");
+        let iters = p.processes[0]
+            .events
+            .iter()
+            .filter(|e| e.track == eta_prof::Track::Iteration)
+            .count() as u32;
+        assert_eq!(iters, r.iterations, "one span per BFS iteration");
+        // The unprofiled default records nothing.
+        let mut quiet = Session::new(&g, EtaConfig::paper()).unwrap();
+        quiet.query(Algorithm::Bfs, 0).unwrap();
+        assert_eq!(quiet.profile().event_count(), 0);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * [`um`] — page residency, contiguous-fault merging, 2 MiB prefetch
 //!   chunks, and LRU eviction for oversubscription.
 //!
+//! The memory system also owns the [`eta_prof::Profiler`]: every PCIe copy
+//! and UM migration/prefetch/eviction that lands on a timeline is mirrored
+//! as a profile event (see PROFILING.md), so transfer/compute overlap is
+//! visible per-span, not just as totals.
+//!
 //! All device payloads are `u32` words (vertex IDs, CSR offsets, labels,
 //! weights); this matches the 4-byte-element access pattern the paper calls
 //! out ("fine-grained memory access when reading neighbor vertex data,

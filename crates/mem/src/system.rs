@@ -9,9 +9,10 @@
 //! [`crate::um::UmDriver`].
 
 use crate::pcie::PcieLink;
-use crate::timeline::SpanKind;
-use crate::um::{UmDriver, UmRegion, PAGE_WORDS};
+use crate::timeline::{Span, SpanKind};
+use crate::um::{UmDriver, UmRegion, PAGE_BYTES, PAGE_WORDS};
 use crate::Ns;
+use eta_prof::{ArgValue, Profiler, Track};
 
 /// How a region behaves with respect to device residency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +167,9 @@ pub struct MemSystem {
     pub zero_copy_bytes: u64,
     /// Memcheck shadow state; `None` unless a sanitizer enabled it.
     shadow: Option<InitShadow>,
+    /// Event recorder shared by every layer above (disabled by default —
+    /// `eta_sim::Device` enables it when its config asks for profiling).
+    pub prof: Profiler,
 }
 
 impl MemSystem {
@@ -179,6 +183,30 @@ impl MemSystem {
             um: UmDriver::new(),
             zero_copy_bytes: 0,
             shadow: None,
+            prof: Profiler::off(),
+        }
+    }
+
+    /// Mirrors the link spans recorded since `mark` into the profiler. The
+    /// PCIe timeline already has exactly the event granularity we want (one
+    /// span per copy, per fault-group migration batch, per prefetch chunk,
+    /// per eviction), so it is the single source of truth: diffing it here
+    /// instruments every transfer path without touching `UmDriver`.
+    fn prof_link_spans(&mut self, mark: usize) {
+        if !self.prof.is_enabled() {
+            return;
+        }
+        let spans: Vec<Span> = self.pcie.timeline.spans()[mark..].to_vec();
+        for s in spans {
+            let track = match s.kind {
+                SpanKind::CopyH2D | SpanKind::CopyD2H => Track::Transfer,
+                _ => Track::Um,
+            };
+            let mut args: Vec<(&'static str, ArgValue)> = vec![("bytes", s.bytes.into())];
+            if matches!(s.kind, SpanKind::Migration | SpanKind::Prefetch) {
+                args.push(("pages", s.bytes.div_ceil(PAGE_BYTES).into()));
+            }
+            self.prof.record(track, s.kind.name(), s.start, s.end, args);
         }
     }
 
@@ -337,15 +365,19 @@ impl MemSystem {
     /// Explicit host→device copy: writes the data and occupies the link.
     pub fn copy_h2d(&mut self, slice: DSlice, offset: u64, data: &[u32], now: Ns) -> Ns {
         self.host_write(slice, offset, data);
+        let mark = self.pcie.timeline.spans().len();
         let (_, end) = self
             .pcie
             .transfer(SpanKind::CopyH2D, data.len() as u64 * 4, now);
+        self.prof_link_spans(mark);
         end
     }
 
     /// Explicit device→host copy of `len` words (results readback).
     pub fn copy_d2h(&mut self, _slice: DSlice, len: u64, now: Ns) -> Ns {
+        let mark = self.pcie.timeline.spans().len();
         let (_, end) = self.pcie.transfer(SpanKind::CopyD2H, len * 4, now);
+        self.prof_link_spans(mark);
         end
     }
 
@@ -354,7 +386,10 @@ impl MemSystem {
         match self.regions[slice.region].kind {
             RegionKind::Unified { um_index } => {
                 let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
-                self.um.prefetch(um_index, now, budget, &mut self.pcie)
+                let mark = self.pcie.timeline.spans().len();
+                let end = self.um.prefetch(um_index, now, budget, &mut self.pcie);
+                self.prof_link_spans(mark);
+                end
             }
             _ => now,
         }
@@ -399,8 +434,12 @@ impl MemSystem {
                     .collect();
                 pages.dedup();
                 let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
-                self.um
-                    .touch_pages(um_index, &pages, now, budget, &mut self.pcie)
+                let mark = self.pcie.timeline.spans().len();
+                let end = self
+                    .um
+                    .touch_pages(um_index, &pages, now, budget, &mut self.pcie);
+                self.prof_link_spans(mark);
+                end
             }
         }
     }
@@ -558,6 +597,53 @@ mod tests {
         let mut m = system(1 << 20);
         let a = m.alloc_explicit(64).unwrap();
         assert_eq!(m.prefetch(a, 77), 77);
+    }
+
+    #[test]
+    fn profiler_mirrors_every_timed_transfer() {
+        let mut m = system(1 << 24);
+        m.prof.set_enabled(true);
+        let a = m.alloc_explicit(1024).unwrap();
+        m.copy_h2d(a, 0, &vec![1u32; 1024], 0);
+        m.copy_d2h(a, 1024, 5_000);
+        let u = m.alloc_unified(PAGE_BYTES / 4 * 100);
+        m.prefetch(u, 10_000);
+        m.ensure_resident(u.region, &[u.word_off / 8], 20_000);
+        let names: Vec<&str> = m.prof.events().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"copy_h2d"));
+        assert!(names.contains(&"copy_d2h"));
+        assert!(names.contains(&"um_prefetch"));
+        // The touched page was already prefetched, so no migration event —
+        // but every recorded event matches a link span one-to-one.
+        assert_eq!(m.prof.len(), m.pcie.timeline.spans().len());
+        let h2d = m
+            .prof
+            .events()
+            .iter()
+            .find(|e| e.name == "copy_h2d")
+            .unwrap();
+        assert_eq!(h2d.track, eta_prof::Track::Transfer);
+        assert!(h2d
+            .args
+            .iter()
+            .any(|(k, v)| *k == "bytes" && matches!(v, eta_prof::ArgValue::U64(4096))));
+        let pf = m
+            .prof
+            .events()
+            .iter()
+            .find(|e| e.name == "um_prefetch")
+            .unwrap();
+        assert_eq!(pf.track, eta_prof::Track::Um);
+        assert!(pf.args.iter().any(|(k, _)| *k == "pages"));
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing_on_transfers() {
+        let mut m = system(1 << 20);
+        let a = m.alloc_explicit(1024).unwrap();
+        m.copy_h2d(a, 0, &vec![1u32; 1024], 0);
+        assert!(m.prof.is_empty());
+        assert_eq!(m.prof.allocated_bytes(), 0);
     }
 
     #[test]

@@ -30,6 +30,18 @@ impl SpanKind {
     pub fn is_transfer(self) -> bool {
         !matches!(self, SpanKind::Compute)
     }
+
+    /// Stable event name, shared by the Chrome trace sink and the profiler.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::CopyH2D => "copy_h2d",
+            SpanKind::CopyD2H => "copy_d2h",
+            SpanKind::Migration => "um_migration",
+            SpanKind::Prefetch => "um_prefetch",
+            SpanKind::Eviction => "um_eviction",
+            SpanKind::Compute => "kernel",
+        }
+    }
 }
 
 /// One contiguous interval of busy time on a resource.
@@ -121,14 +133,8 @@ impl Timeline {
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("[\n");
         for (i, s) in self.spans.iter().enumerate() {
-            let (name, tid) = match s.kind {
-                SpanKind::CopyH2D => ("copy_h2d", 1),
-                SpanKind::CopyD2H => ("copy_d2h", 1),
-                SpanKind::Migration => ("um_migration", 1),
-                SpanKind::Prefetch => ("um_prefetch", 1),
-                SpanKind::Eviction => ("um_eviction", 1),
-                SpanKind::Compute => ("kernel", 2),
-            };
+            let name = s.kind.name();
+            let tid = if s.kind.is_transfer() { 1 } else { 2 };
             if i > 0 {
                 out.push_str(",\n");
             }

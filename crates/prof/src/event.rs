@@ -1,0 +1,198 @@
+//! The event model: tracks, argument values, and recorded events.
+
+use crate::fmt;
+use crate::Ns;
+
+/// Which logical track (Chrome trace `tid`) an event belongs to. One track
+/// per resource class keeps kernel and transfer activity visually separate
+/// in Perfetto, which is what makes overlap *visible*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Kernel launches on the SMs.
+    Kernel,
+    /// Explicit PCIe copies (`copy_h2d` / `copy_d2h`).
+    Transfer,
+    /// Unified-memory traffic: fault migrations, prefetches, evictions.
+    Um,
+    /// Engine-level spans: whole queries and per-BFS-iteration frontiers.
+    Iteration,
+    /// Serve-scheduler events: arrivals, rejections, batches.
+    Sched,
+}
+
+impl Track {
+    /// Stable Chrome trace thread id for the track.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Kernel => 1,
+            Track::Transfer => 2,
+            Track::Um => 3,
+            Track::Iteration => 4,
+            Track::Sched => 5,
+        }
+    }
+
+    /// Human label, used for Chrome `thread_name` metadata and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Kernel => "kernels",
+            Track::Transfer => "pcie transfers",
+            Track::Um => "unified memory",
+            Track::Iteration => "engine iterations",
+            Track::Sched => "scheduler",
+        }
+    }
+
+    /// All tracks, in tid order.
+    pub fn all() -> [Track; 5] {
+        [
+            Track::Kernel,
+            Track::Transfer,
+            Track::Um,
+            Track::Iteration,
+            Track::Sched,
+        ]
+    }
+}
+
+/// A typed event argument (counter snapshot, byte count, reason string…).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ArgValue {
+    /// The value as a JSON fragment (deterministic formatting).
+    pub fn to_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) => fmt::f64_json(*v),
+            ArgValue::Str(s) => format!("\"{}\"", fmt::json_escape(s)),
+            ArgValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Numeric view, for counter aggregation. Strings and bools are not
+    /// counters and return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ArgValue::U64(v) => Some(*v as f64),
+            ArgValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+/// One recorded span (or instant, when `start == end`) on simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub name: String,
+    pub track: Track,
+    pub start: Ns,
+    pub end: Ns,
+    /// Ordered key/value pairs; order is part of the deterministic output.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    pub fn duration(&self) -> Ns {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// An instant has zero extent and renders as a Chrome instant event.
+    pub fn is_instant(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The event's `args` object as a JSON fragment, `{}` when empty.
+    pub fn args_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&v.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tids_are_stable_and_distinct() {
+        let mut seen: Vec<u32> = Track::all().iter().map(|t| t.tid()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), Track::all().len());
+        assert_eq!(Track::Kernel.tid(), 1);
+        assert_eq!(Track::Transfer.tid(), 2);
+    }
+
+    #[test]
+    fn arg_values_render_deterministic_json() {
+        assert_eq!(ArgValue::from(7u64).to_json(), "7");
+        assert_eq!(ArgValue::from(0.25).to_json(), "0.250000");
+        assert_eq!(ArgValue::from("a\"b").to_json(), "\"a\\\"b\"");
+        assert_eq!(ArgValue::from(true).to_json(), "true");
+    }
+
+    #[test]
+    fn args_object_preserves_order() {
+        let e = Event {
+            name: "k".into(),
+            track: Track::Kernel,
+            start: 0,
+            end: 5,
+            args: vec![("cycles", 10u64.into()), ("ipc", 0.5.into())],
+        };
+        assert_eq!(e.args_json(), "{\"cycles\":10,\"ipc\":0.500000}");
+        assert_eq!(e.duration(), 5);
+        assert!(!e.is_instant());
+    }
+}

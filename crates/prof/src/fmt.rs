@@ -1,0 +1,103 @@
+//! Deterministic, allocation-light formatting helpers shared by the sinks.
+//!
+//! Everything here is integer math or fixed-precision float formatting so a
+//! profile renders byte-identically on every run and platform. No locale,
+//! no shortest-float heuristics on values users diff.
+
+use crate::Ns;
+
+/// Microseconds with fixed three-decimal nanosecond remainder: `1234` ns
+/// renders as `1.234`. Chrome trace timestamps are microseconds; doing the
+/// division in integer space keeps traces byte-stable.
+pub fn us(ns: Ns) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Human duration in the unit nvprof would pick, fixed three decimals.
+pub fn dur(ns: Ns) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{}.{:03}us", ns / 1_000, ns % 1_000)
+    } else if ns < 1_000_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else {
+        format!(
+            "{}.{:03}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000_000
+        )
+    }
+}
+
+/// Fixed-precision float for JSON and tables. `{:.6}` is deterministic for
+/// a given value; all profiled floats are themselves deterministic.
+pub fn f64_json(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        // JSON has no NaN/inf; counters should never produce them, but a
+        // sink must not emit invalid JSON if one slips through.
+        "null".to_string()
+    }
+}
+
+/// Percentage with two decimals, e.g. `43.21%`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_is_integer_math() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn dur_picks_nvprof_units() {
+        assert_eq!(dur(999), "999ns");
+        assert_eq!(dur(1_500), "1.500us");
+        assert_eq!(dur(2_345_678), "2.345ms");
+        assert_eq!(dur(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn floats_are_fixed_precision_and_json_safe() {
+        assert_eq!(f64_json(0.5), "0.500000");
+        assert_eq!(f64_json(f64::NAN), "null");
+        assert_eq!(f64_json(f64::INFINITY), "null");
+        assert_eq!(pct(0.4321), "43.21%");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

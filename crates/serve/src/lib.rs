@@ -22,7 +22,10 @@
 //!
 //! Everything is deterministic: the same registry, config, and trace produce
 //! byte-identical reports, because all time is simulated and all randomness
-//! is counter-based.
+//! is counter-based. With profiling on (`GpuConfig::with_profiling`), the
+//! scheduler emits `enqueue`/`reject` instants and `batch` spans into an
+//! `eta-prof` profile alongside each device's kernel and transfer events —
+//! `Service::profile` merges them into one multi-process trace.
 //!
 //! ```
 //! use eta_graph::generate::{rmat, RmatConfig};

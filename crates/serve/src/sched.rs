@@ -15,6 +15,7 @@ use crate::registry::GraphRegistry;
 use crate::report::{BatchRecord, DeviceStats, RequestRecord, ServeReport};
 use crate::request::{RejectReason, Rejection, Request};
 use eta_mem::Ns;
+use eta_prof::{Profile, Profiler, Track};
 use eta_sim::GpuConfig;
 use etagraph::multi_bfs::MAX_BATCH;
 use etagraph::EtaConfig;
@@ -74,6 +75,9 @@ pub struct Service<'r> {
     registry: &'r GraphRegistry,
     cfg: ServeConfig,
     workers: Vec<DeviceWorker>,
+    /// Scheduler-side `eta-prof` events (queue/batch/admission); follows
+    /// `cfg.gpu.profiling` like the per-device profilers do.
+    prof: Profiler,
 }
 
 impl<'r> Service<'r> {
@@ -86,16 +90,30 @@ impl<'r> Service<'r> {
         let workers = (0..cfg.devices)
             .map(|id| DeviceWorker::new(id, cfg.gpu))
             .collect();
+        let prof = Profiler::new(cfg.gpu.profiling);
         Service {
             registry,
             cfg,
             workers,
+            prof,
         }
     }
 
     /// The device pool, for post-run inspection (e.g. sanitizer reports).
     pub fn workers(&self) -> &[DeviceWorker] {
         &self.workers
+    }
+
+    /// The multi-process `eta-prof` profile: one "scheduler" process for
+    /// queue/batch/admission events, one "deviceN" process per worker.
+    /// Empty unless the service's [`GpuConfig`] enables profiling.
+    pub fn profile(&self) -> Profile {
+        let mut p = Profile::new();
+        p.push("scheduler", self.prof.events().to_vec());
+        for w in &self.workers {
+            p.push(&format!("device{}", w.id), w.dev.mem.prof.events().to_vec());
+        }
+        p
     }
 
     /// Serves `trace` (must be sorted by arrival time) to completion and
@@ -143,13 +161,22 @@ impl<'r> Service<'r> {
     /// Admission control at arrival time. Every refusal is a typed
     /// [`Rejection`]; admitted requests enter the bounded queue.
     fn admit(
-        &self,
+        &mut self,
         req: &Request,
         now: Ns,
         queue: &mut Vec<Request>,
         rejections: &mut Vec<Rejection>,
     ) {
-        let mut reject = |reason| {
+        let prof = &mut self.prof;
+        let mut reject = |reason: RejectReason| {
+            if prof.is_enabled() {
+                prof.instant(
+                    Track::Sched,
+                    "reject",
+                    now,
+                    vec![("id", req.id.into()), ("reason", reason.name().into())],
+                );
+            }
             rejections.push(Rejection {
                 id: req.id,
                 reason,
@@ -173,6 +200,19 @@ impl<'r> Service<'r> {
             return reject(RejectReason::QueueFull);
         }
         queue.push(req.clone());
+        if self.prof.is_enabled() {
+            self.prof.instant(
+                Track::Sched,
+                "enqueue",
+                now,
+                vec![
+                    ("id", req.id.into()),
+                    ("graph", req.graph.as_str().into()),
+                    ("class", req.class.name().into()),
+                    ("depth", queue.len().into()),
+                ],
+            );
+        }
     }
 
     /// One dispatch decision at time `now`: drop expired requests, order
@@ -186,8 +226,20 @@ impl<'r> Service<'r> {
         rejections: &mut Vec<Rejection>,
         batches: &mut Vec<BatchRecord>,
     ) {
+        let prof = &mut self.prof;
         queue.retain(|r| match r.timeout_ns {
             Some(limit) if now - r.arrival_ns > limit => {
+                if prof.is_enabled() {
+                    prof.instant(
+                        Track::Sched,
+                        "reject",
+                        now,
+                        vec![
+                            ("id", r.id.into()),
+                            ("reason", RejectReason::TimedOut.name().into()),
+                        ],
+                    );
+                }
                 rejections.push(Rejection {
                     id: r.id,
                     reason: RejectReason::TimedOut,
@@ -237,6 +289,17 @@ impl<'r> Service<'r> {
                 // across co-resident tenants). Refuse this batch; the rest
                 // of the queue keeps flowing.
                 for r in &batch {
+                    if self.prof.is_enabled() {
+                        self.prof.instant(
+                            Track::Sched,
+                            "reject",
+                            now,
+                            vec![
+                                ("id", r.id.into()),
+                                ("reason", RejectReason::AdmissionDenied.name().into()),
+                            ],
+                        );
+                    }
                     rejections.push(Rejection {
                         id: r.id,
                         reason: RejectReason::AdmissionDenied,
@@ -280,6 +343,20 @@ impl<'r> Service<'r> {
                 reached,
                 deadline_met: r.deadline_ns.map(|d| completion <= d),
             });
+        }
+        if self.prof.is_enabled() {
+            let device = batches.last().expect("just pushed").device;
+            self.prof.record(
+                Track::Sched,
+                "batch",
+                now,
+                completion,
+                vec![
+                    ("graph", graph.as_str().into()),
+                    ("device", device.into()),
+                    ("size", batch.len().into()),
+                ],
+            );
         }
     }
 
@@ -469,6 +546,32 @@ mod tests {
         assert_eq!(report.rejections.len(), 1);
         assert_eq!(report.rejections[0].id, 1);
         assert_eq!(report.rejections[0].reason, RejectReason::TimedOut);
+    }
+
+    #[test]
+    fn profiled_service_records_scheduler_and_device_events() {
+        let reg = registry_with(&[("g", 1)]);
+        let n = reg.get("g").unwrap().n() as u32;
+        let trace = vec![req(0, "g", 0, 0), req(1, "g", 1, 0), req(2, "g", n, 0)];
+        let cfg = ServeConfig {
+            gpu: GpuConfig::default_preset().with_profiling(),
+            ..ServeConfig::default()
+        };
+        let mut service = Service::new(&reg, cfg);
+        service.run(&trace);
+        let p = service.profile();
+        assert_eq!(p.processes.len(), 2, "scheduler + one device");
+        let sched = &p.processes[0];
+        assert_eq!(sched.name, "scheduler");
+        let names: Vec<&str> = sched.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"enqueue"));
+        assert!(names.contains(&"reject"), "out-of-range source rejected");
+        assert!(names.contains(&"batch"));
+        assert!(p.kernel_busy_ns() > 0, "device process has kernel events");
+        // Default config records nothing at all.
+        let mut quiet = Service::new(&reg, ServeConfig::default());
+        quiet.run(&trace);
+        assert_eq!(quiet.profile().event_count(), 0);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct GpuConfig {
     pub hiding_cap: usize,
     /// Which sanitizer analyses instrument kernel accesses (default off).
     pub sanitizer: SanitizerMode,
+    /// Whether the device records an `eta-prof` event stream (default off;
+    /// disabled profiling is zero-cost).
+    pub profiling: bool,
 }
 
 impl GpuConfig {
@@ -101,12 +104,19 @@ impl GpuConfig {
             pcie_latency_ns: 1_000,
             hiding_cap: 24,
             sanitizer: SanitizerMode::Off,
+            profiling: false,
         }
     }
 
     /// The same preset with a sanitizer attached.
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = mode;
+        self
+    }
+
+    /// The same preset with `eta-prof` event recording enabled.
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
         self
     }
 

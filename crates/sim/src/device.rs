@@ -41,6 +41,7 @@ use eta_mem::pcie::PcieLink;
 use eta_mem::system::MemSystem;
 use eta_mem::timeline::{Span, SpanKind, Timeline};
 use eta_mem::Ns;
+use eta_prof::{ArgValue, Profile, Track};
 
 /// The simulated GPU.
 pub struct Device {
@@ -74,6 +75,7 @@ impl Device {
         } else {
             None
         };
+        mem.prof.set_enabled(cfg.profiling);
         Device {
             cfg,
             mem,
@@ -230,7 +232,50 @@ impl Device {
             end: end_ns,
             bytes: 0,
         });
+        if self.mem.prof.is_enabled() {
+            let args: Vec<(&'static str, ArgValue)> = vec![
+                ("cycles", metrics.cycles.into()),
+                ("instructions", metrics.instructions.into()),
+                ("ipc", metrics.ipc().into()),
+                ("time_ns", metrics.time_ns.into()),
+                ("warps", metrics.warps.into()),
+                ("occupancy_warps", metrics.occupancy_warps.into()),
+                (
+                    "warp_efficiency",
+                    metrics.warp_execution_efficiency().into(),
+                ),
+                ("l1_sector_requests", metrics.l1_requests.into()),
+                ("l1_hit_rate", metrics.l1_hit_rate().into()),
+                ("l2_sector_requests", metrics.l2_requests.into()),
+                ("l2_hit_rate", metrics.l2_hit_rate().into()),
+                ("dram_read_transactions", metrics.dram_transactions.into()),
+                (
+                    "dram_write_transactions",
+                    metrics.dram_write_transactions.into(),
+                ),
+                ("dram_bytes", metrics.dram_bytes.into()),
+                ("shared_accesses", metrics.shared_accesses.into()),
+                (
+                    "shared_bank_conflicts",
+                    metrics.shared_bank_conflicts.into(),
+                ),
+                ("atomics", metrics.atomics.into()),
+                ("mem_stall_cycles", metrics.mem_stall_cycles.into()),
+            ];
+            self.mem
+                .prof
+                .record(Track::Kernel, kernel.name(), start_ns, end_ns, args);
+        }
         LaunchResult { end_ns, metrics }
+    }
+
+    /// The profile recorded so far as a single-process [`Profile`].
+    ///
+    /// Empty unless the device was built with
+    /// [`GpuConfig::with_profiling`](crate::config::GpuConfig::with_profiling)
+    /// (or `mem.prof` was enabled by hand).
+    pub fn profile(&self) -> Profile {
+        Profile::single("device", self.mem.prof.events().to_vec())
     }
 
     /// Clears caches and timelines for a fresh experiment on the same data.
@@ -245,6 +290,7 @@ impl Device {
         self.mem.pcie.reset();
         self.mem.um.invalidate_all();
         self.mem.um.reset_stats();
+        self.mem.prof.clear();
     }
 }
 
@@ -445,6 +491,54 @@ mod tests {
             },
             0,
         );
+    }
+
+    #[test]
+    fn profiling_records_kernel_events_with_counters() {
+        let mut dev = Device::new(GpuConfig::default_preset().with_profiling());
+        let n = 2048u32;
+        let input = dev.mem.alloc_explicit(n as u64).unwrap();
+        let output = dev.mem.alloc_explicit(n as u64).unwrap();
+        dev.launch(&DoubleKernel { input, output, n }, grid(n, 256), 0);
+        let events = dev.mem.prof.events();
+        let kernel: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == eta_prof::Track::Kernel)
+            .collect();
+        assert_eq!(kernel.len(), 1);
+        assert_eq!(kernel[0].name, "double");
+        let arg_names: Vec<&str> = kernel[0].args.iter().map(|(k, _)| *k).collect();
+        for want in [
+            "cycles",
+            "ipc",
+            "warp_efficiency",
+            "l1_hit_rate",
+            "l2_hit_rate",
+            "dram_read_transactions",
+            "shared_bank_conflicts",
+            "mem_stall_cycles",
+        ] {
+            assert!(arg_names.contains(&want), "missing counter {want}");
+        }
+        // Explicit-allocation writes in the test setup plus any copies are
+        // mirrored too; the single-process profile must see the kernel span.
+        let p = dev.profile();
+        assert!(p.kernel_busy_ns() > 0);
+        // Disabled device records nothing.
+        let mut quiet = Device::new(GpuConfig::default_preset());
+        let i2 = quiet.mem.alloc_explicit(n as u64).unwrap();
+        let o2 = quiet.mem.alloc_explicit(n as u64).unwrap();
+        quiet.launch(
+            &DoubleKernel {
+                input: i2,
+                output: o2,
+                n,
+            },
+            grid(n, 256),
+            0,
+        );
+        assert!(quiet.mem.prof.is_empty());
+        assert_eq!(quiet.mem.prof.allocated_bytes(), 0);
     }
 
     #[test]

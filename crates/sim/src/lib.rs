@@ -9,6 +9,9 @@
 //! the paper's Fig. 7 reports.
 //!
 //! See [`device`] for the timing model and [`warp`] for the access API.
+//! With [`GpuConfig::with_profiling`] each launch additionally records an
+//! `eta-prof` event carrying the full counter snapshot; [`Device::profile`]
+//! returns the accumulated profile (see PROFILING.md).
 
 // Kernels address per-lane register arrays by explicit lane index under an
 // active mask — the SIMT idiom this simulator exists to model. Iterator

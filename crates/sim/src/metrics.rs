@@ -37,6 +37,16 @@ pub struct KernelMetrics {
     pub dram_bytes: u64,
     /// Shared-memory instructions executed.
     pub shared_accesses: u64,
+    /// Shared-memory replays from bank conflicts: for each shared access,
+    /// the number of extra cycles a hardware scheduler would replay because
+    /// two lanes addressed *different* words in the same bank (same-word
+    /// lanes broadcast for free).
+    pub shared_bank_conflicts: u64,
+    /// Active lanes summed over lane-maskable instructions (nvprof's
+    /// numerator for `warp_execution_efficiency`).
+    pub lane_ops: u64,
+    /// Lane slots issued: `32 ×` the same instruction count (denominator).
+    pub lane_slots: u64,
     /// Atomic operations executed (lane-level).
     pub atomics: u64,
     /// Raw (un-hidden) memory stall cycles accumulated by warps.
@@ -84,6 +94,17 @@ impl KernelMetrics {
         throughput(self.dram_bytes, self.time_ns)
     }
 
+    /// nvprof's `warp_execution_efficiency`: average fraction of active
+    /// lanes per issued lane-maskable instruction. 1.0 when nothing issued
+    /// (a fully-converged empty kernel wastes no lanes).
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.lane_ops as f64 / self.lane_slots as f64
+        }
+    }
+
     /// Accumulates another launch into this one (iteration totals).
     pub fn merge(&mut self, other: &KernelMetrics) {
         self.instructions += other.instructions;
@@ -97,6 +118,9 @@ impl KernelMetrics {
         self.dram_write_transactions += other.dram_write_transactions;
         self.dram_bytes += other.dram_bytes;
         self.shared_accesses += other.shared_accesses;
+        self.shared_bank_conflicts += other.shared_bank_conflicts;
+        self.lane_ops += other.lane_ops;
+        self.lane_slots += other.lane_slots;
         self.atomics += other.atomics;
         self.mem_stall_cycles += other.mem_stall_cycles;
         self.warps += other.warps;
@@ -122,6 +146,17 @@ mod tests {
         let m = KernelMetrics::default();
         assert_eq!(m.ipc(), 0.0);
         assert_eq!(m.dram_throughput_gb_s(), 0.0);
+        assert_eq!(m.warp_execution_efficiency(), 1.0, "nothing issued");
+    }
+
+    #[test]
+    fn warp_efficiency_is_active_lane_fraction() {
+        let m = KernelMetrics {
+            lane_ops: 48,
+            lane_slots: 64,
+            ..Default::default()
+        };
+        assert!((m.warp_execution_efficiency() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct WarpCtx<'a> {
     /// Raw memory stall cycles (this warp).
     stall: u64,
     shared_accesses: u64,
+    shared_bank_conflicts: u64,
+    /// Active lanes over lane-maskable instructions (divergence numerator).
+    lane_ops: u64,
+    /// 32 × lane-maskable instructions issued (divergence denominator).
+    lane_slots: u64,
     atomics: u64,
     l1_requests: u64,
     l1_hits: u64,
@@ -102,6 +107,9 @@ impl<'a> WarpCtx<'a> {
             instructions: 0,
             stall: 0,
             shared_accesses: 0,
+            shared_bank_conflicts: 0,
+            lane_ops: 0,
+            lane_slots: 0,
             atomics: 0,
             l1_requests: 0,
             l1_hits: 0,
@@ -147,8 +155,20 @@ impl<'a> WarpCtx<'a> {
     // ---- accounting ------------------------------------------------------
 
     /// Charges `n` ALU warp instructions (address math, compares, ...).
+    /// ALU work carries no lane mask in this API, so it counts fully
+    /// active — divergence is measured on the masked memory path.
     pub fn alu(&mut self, n: u64) {
         self.instructions += n;
+        self.lane_ops += n * WARP_SIZE as u64;
+        self.lane_slots += n * WARP_SIZE as u64;
+    }
+
+    /// Tallies one lane-maskable instruction's active lanes into the
+    /// warp-execution-efficiency counters.
+    #[inline]
+    fn count_lanes(&mut self, active: u32) {
+        self.lane_ops += active as u64;
+        self.lane_slots += WARP_SIZE as u64;
     }
 
     /// Drains this warp's counters into launch-level accumulators.
@@ -157,6 +177,9 @@ impl<'a> WarpCtx<'a> {
         metrics.instructions += self.instructions;
         metrics.mem_stall_cycles += self.stall;
         metrics.shared_accesses += self.shared_accesses;
+        metrics.shared_bank_conflicts += self.shared_bank_conflicts;
+        metrics.lane_ops += self.lane_ops;
+        metrics.lane_slots += self.lane_slots;
         metrics.atomics += self.atomics;
         metrics.l1_requests += self.l1_requests;
         metrics.l1.hits += self.l1_hits;
@@ -189,6 +212,7 @@ impl<'a> WarpCtx<'a> {
             Some(san) => san.pre_access(self.id, s, idx, mask),
             None => mask,
         };
+        self.count_lanes(mask.count_ones());
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
                 self.addr_scratch[lane] = s.addr(idx[lane] as u64);
@@ -357,6 +381,10 @@ impl<'a> WarpCtx<'a> {
             // One vectorized instruction: coalesce every active (lane, row)
             // address in the group together.
             self.instructions += 1;
+            let active = (0..WARP_SIZE)
+                .filter(|&l| (mask >> l) & 1 == 1 && count[l] > group_start)
+                .count() as u32;
+            self.count_lanes(active);
             self.sector_scratch.clear();
             let mut any = false;
             for lane in 0..WARP_SIZE {
@@ -507,6 +535,8 @@ impl<'a> WarpCtx<'a> {
             Some(san) => san.shared_access(self.id, AccessKind::Load, self.shared.len(), idx, mask),
             None => mask,
         };
+        self.count_lanes(mask.count_ones());
+        self.shared_bank_conflicts += bank_conflicts(idx, mask);
         let mut out = [0u32; WARP_SIZE];
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
@@ -527,12 +557,47 @@ impl<'a> WarpCtx<'a> {
             }
             None => mask,
         };
+        self.count_lanes(mask.count_ones());
+        self.shared_bank_conflicts += bank_conflicts(idx, mask);
         for lane in 0..WARP_SIZE {
             if (mask >> lane) & 1 == 1 {
                 self.shared[idx[lane] as usize] = vals[lane];
             }
         }
     }
+}
+
+/// Shared-memory bank-conflict replays for one warp access: shared memory
+/// has 32 word-wide banks (`word % 32`); lanes addressing *different* words
+/// in the same bank serialize, while lanes reading the same word broadcast.
+/// Returns `Σ_banks (distinct words in bank − 1)` over active lanes.
+fn bank_conflicts(idx: &Lanes, mask: u32) -> u64 {
+    let mut pairs = [(0u32, 0u32); WARP_SIZE];
+    let mut n = 0usize;
+    for lane in 0..WARP_SIZE {
+        if (mask >> lane) & 1 == 1 {
+            pairs[n] = (idx[lane] % 32, idx[lane]);
+            n += 1;
+        }
+    }
+    let pairs = &mut pairs[..n];
+    pairs.sort_unstable();
+    let mut conflicts = 0u64;
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let bank = pairs[i].0;
+        let mut distinct = 0u64;
+        let mut last: Option<u32> = None;
+        while i < pairs.len() && pairs[i].0 == bank {
+            if last != Some(pairs[i].1) {
+                distinct += 1;
+                last = Some(pairs[i].1);
+            }
+            i += 1;
+        }
+        conflicts += distinct.saturating_sub(1);
+    }
+    conflicts
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -606,6 +671,40 @@ mod tests {
             *s = i as u32;
         }
         l
+    }
+
+    #[test]
+    fn bank_conflict_counting() {
+        // Coalesced iota: every lane in its own bank — no conflicts.
+        assert_eq!(bank_conflicts(&iota(), FULL_MASK), 0);
+        // All 32 lanes read the same word: broadcast, free.
+        assert_eq!(bank_conflicts(&[7u32; WARP_SIZE], FULL_MASK), 0);
+        // Stride 32: every lane a distinct word in bank 0 — 31 replays.
+        let mut stride = [0u32; WARP_SIZE];
+        for (i, s) in stride.iter_mut().enumerate() {
+            *s = (i as u32) * 32;
+        }
+        assert_eq!(bank_conflicts(&stride, FULL_MASK), 31);
+        // Inactive lanes are ignored: only lanes 0 and 1 active, same bank,
+        // different words — one replay.
+        assert_eq!(bank_conflicts(&stride, 0b11), 1);
+        assert_eq!(bank_conflicts(&stride, 0), 0);
+    }
+
+    #[test]
+    fn shared_access_counts_lanes_and_conflicts() {
+        let mut rig = Rig::new();
+        let mut w = rig.warp(1);
+        let vals = iota();
+        w.store_shared(&iota(), &vals, FULL_MASK);
+        let out = w.load_shared(&iota(), FULL_MASK);
+        assert_eq!(out, vals);
+        let mut m = KernelMetrics::default();
+        w.finish(&mut m);
+        assert_eq!(m.shared_bank_conflicts, 0, "iota is conflict-free");
+        assert_eq!(m.lane_ops, 64, "two full-warp shared instructions");
+        assert_eq!(m.lane_slots, 64);
+        assert!((m.warp_execution_efficiency() - 1.0).abs() < 1e-12);
     }
 
     #[test]
