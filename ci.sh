@@ -33,4 +33,10 @@ cargo run --release -p eta-bench --bin report -- profile --quick --out "$PROFILE
 test -s "$PROFILE_OUT/profile.txt" && test -s "$PROFILE_OUT/profile.json"
 grep -q "transfer/compute overlap" "$PROFILE_OUT/profile.txt"
 
+echo "==> report faults smoke run (quick suite, temp dir)"
+cargo run --release -p eta-bench --bin report -- faults --quick --out "$PROFILE_OUT" >/dev/null
+test -s "$PROFILE_OUT/faults.txt" && test -s "$PROFILE_OUT/faults.json"
+grep -q "availability" "$PROFILE_OUT/faults.txt"
+grep -q "quarantine" "$PROFILE_OUT/faults.txt"
+
 echo "ci: all gates passed"

@@ -110,6 +110,11 @@ impl Framework for EtaFramework {
             etagraph::QueryError::SourceOutOfRange { .. } => {
                 FrameworkError::Unsupported("source out of range")
             }
+            // The bench harness never installs a fault plan; a fault here
+            // would mean a plan leaked into a baseline device.
+            etagraph::QueryError::DeviceFault(_) => {
+                FrameworkError::Unsupported("device fault injected outside a fault run")
+            }
         })
     }
 }

@@ -16,9 +16,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN: [&str; 14] = [
+const KNOWN: [&str; 15] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize", "serve", "profile",
+    "extras", "sanitize", "serve", "profile", "faults",
 ];
 
 fn main() {
@@ -94,6 +94,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         }),
         "serve" => eta_bench::serve_report::serve(suite),
         "profile" => eta_bench::profile_report::profile(suite),
+        "faults" => eta_bench::faults_report::faults(suite),
         _ => unreachable!("validated in main"),
     }
 }

@@ -9,6 +9,7 @@
 //! per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
 
 pub mod extras;
+pub mod faults_report;
 pub mod figs;
 pub mod profile_report;
 pub mod sanitize;

@@ -136,9 +136,16 @@ pub fn serve(suite: Suite) -> Artifact {
             slo * 100.0
         ));
     }
-    body.push_str(&format!(
-        "batching speedup (makespan): {:.2}x\n",
+    // Guard the ratio: an empty trace (or one where every request is
+    // rejected) has makespan 0, and 0/0 is NaN — which is not byte-stable
+    // through float formatting. A degenerate run reports a neutral 1x.
+    let makespan_speedup = if batched.makespan_ns == 0 {
+        1.0
+    } else {
         unbatched.makespan_ns as f64 / batched.makespan_ns as f64
+    };
+    body.push_str(&format!(
+        "batching speedup (makespan): {makespan_speedup:.2}x\n"
     ));
 
     Artifact {
@@ -150,7 +157,7 @@ pub fn serve(suite: Suite) -> Artifact {
             "seed": workload.seed,
             "batched": report_json("batched_priority", &batched),
             "unbatched": report_json("unbatched_fifo", &unbatched),
-            "makespan_speedup": unbatched.makespan_ns as f64 / batched.makespan_ns as f64,
+            "makespan_speedup": makespan_speedup,
         }),
     }
 }

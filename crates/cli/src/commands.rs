@@ -43,10 +43,11 @@ pub fn usage() -> String {
      etagraph info FILE [--json]\n\
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
      \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
-     \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--json]\n\
+     \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
-     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--profile FILE] [--sanitize] [--json]\n\
+     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--profile FILE] [--sanitize]\n\
+     \x20          [--faults PLAN.json] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph datasets [--json]"
         .to_string()
@@ -183,8 +184,23 @@ pub fn eta_config_from(args: &Args) -> Result<EtaConfig, ArgError> {
     Ok(cfg)
 }
 
+/// Parses `--faults PLAN.json` into a [`eta_fault::FaultPlan`]; `None`
+/// when the flag is absent. A malformed plan is a named error, never a
+/// silently-empty one.
+fn fault_plan_from(args: &Args) -> Result<Option<eta_fault::FaultPlan>, ArgError> {
+    let Some(path) = args.get("faults") else {
+        return Ok(None);
+    };
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("reading fault plan {path}: {e}")))?;
+    eta_fault::FaultPlan::from_json_str(&body)
+        .map(Some)
+        .map_err(|e| ArgError(format!("fault plan {path}: {e}")))
+}
+
 /// Builds the simulated device, with the sanitizer attached when
-/// `--sanitize` is present (full memcheck + racecheck + lint).
+/// `--sanitize` is present (full memcheck + racecheck + lint) and any
+/// `--faults` plan installed (as device 0 — single-device runs).
 fn device_from(args: &Args) -> Result<Device, ArgError> {
     let device_mb: u64 = args.get_parse("device-mb", 88)?;
     let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
@@ -194,7 +210,11 @@ fn device_from(args: &Args) -> Result<Device, ArgError> {
     if args.get("profile").is_some() {
         gpu = gpu.with_profiling();
     }
-    Ok(Device::new(gpu))
+    let mut dev = Device::new(gpu);
+    if let Some(plan) = fault_plan_from(args)? {
+        dev.install_faults(&plan, 0);
+    }
+    Ok(dev)
 }
 
 /// With `--profile FILE`: writes the Chrome trace to FILE and appends the
@@ -542,6 +562,8 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
         } else {
             eta_serve::Policy::PriorityDeadline
         },
+        faults: fault_plan_from(args)?.unwrap_or_default(),
+        ..eta_serve::ServeConfig::default()
     };
     if cfg.devices == 0 {
         return Err(ArgError("--devices must be at least 1".into()));
@@ -597,6 +619,27 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
     }
     if let Some(slo) = report.slo_attainment() {
         let _ = writeln!(text, "SLO attainment: {:.1}%", slo * 100.0);
+    }
+    // Fault-tolerance summary, only when the run actually saw faults (the
+    // empty default plan keeps this output byte-identical to older builds).
+    if !report.fault_events.is_empty() {
+        let _ = writeln!(
+            text,
+            "faults: {} device fault(s), {} retried answer(s), {} degraded (CPU fallback), availability {:.4}",
+            report.fault_events.len(),
+            report.records.iter().filter(|r| r.retries > 0).count(),
+            report.degraded,
+            report.availability
+        );
+        for q in &report.quarantines {
+            let _ = writeln!(
+                text,
+                "quarantine: device {} from {:.3} ms to {:.3} ms",
+                q.device,
+                ms(q.from_ns),
+                ms(q.until_ns)
+            );
+        }
     }
     for d in &report.devices {
         let _ = writeln!(
@@ -993,6 +1036,61 @@ mod tests {
             .iter()
             .all(|s| s["errors"].as_array().unwrap().is_empty()));
         std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn faults_flag_degrades_run_and_is_survived_by_serve() {
+        let f = tmpfile("faults.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --out {f}"
+        )))
+        .unwrap();
+        // A permanent hang window: the bare engine has no recovery ladder,
+        // so `run` reports the typed fault as a named error.
+        let plan = tmpfile("hang-plan.json");
+        std::fs::write(
+            &plan,
+            r#"{"seed": 0, "ecc": [], "um": [],
+                "hangs": [{"device": 0, "start_ns": 0, "end_ns": 99999999999, "budget_ns": 1000}],
+                "pcie": []}"#,
+        )
+        .unwrap();
+        let err = dispatch(argv(&format!("run {f} --alg bfs --faults {plan}"))).unwrap_err();
+        assert!(err.0.contains("kernel_hang"), "{err}");
+        // The serving layer survives the same plan: retries, quarantine,
+        // then the CPU fallback keeps availability at 1.
+        let out = dispatch(argv(&format!(
+            "serve --graph {f} --requests 6 --rate 5000 --faults {plan}"
+        )))
+        .unwrap();
+        assert!(out.text.contains("availability"), "{}", out.text);
+        assert!(out.text.contains("quarantine"), "{}", out.text);
+        let report = &out.json["report"];
+        assert_eq!(report["completed"], 6u32);
+        assert!(report["degraded"].as_u64().unwrap() > 0);
+        assert_eq!(report["availability"].as_f64().unwrap(), 1.0);
+        // An empty plan is inert: byte-identical output to no flag at all.
+        let empty = tmpfile("empty-plan.json");
+        std::fs::write(&empty, "{}").unwrap();
+        let with = dispatch(argv(&format!(
+            "serve --graph {f} --requests 6 --rate 5000 --faults {empty}"
+        )))
+        .unwrap();
+        let without =
+            dispatch(argv(&format!("serve --graph {f} --requests 6 --rate 5000"))).unwrap();
+        assert_eq!(with.text, without.text);
+        assert_eq!(
+            serde_json::to_string(&with.json).unwrap(),
+            serde_json::to_string(&without.json).unwrap()
+        );
+        // A malformed plan is a named error.
+        let bad = tmpfile("bad-plan.json");
+        std::fs::write(&bad, r#"{"bogus": 1}"#).unwrap();
+        let err = dispatch(argv(&format!("run {f} --alg bfs --faults {bad}"))).unwrap_err();
+        assert!(err.0.contains("fault plan"), "{err}");
+        for p in [f, plan, empty, bad] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]

@@ -321,6 +321,9 @@ pub fn run_query(
             now = r.end_ns.max(r.metrics.data_ready_ns);
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
+            if let Some(f) = dev.take_fault() {
+                return Err(f.into());
+            }
             (0, 0)
         } else {
             // Reset the virtual active sets ("reset when shadow vertices
@@ -353,6 +356,9 @@ pub fn run_query(
             now = r.end_ns.max(r.metrics.data_ready_ns);
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
+            if let Some(f) = dev.take_fault() {
+                return Err(f.into());
+            }
 
             let (nf, t) = full.read_count(dev, now);
             now = t;
@@ -393,6 +399,9 @@ pub fn run_query(
                 now = r.end_ns.max(r.metrics.data_ready_ns);
                 metrics.merge(&r.metrics);
                 kernel_ns += r.metrics.time_ns;
+                if let Some(f) = dev.take_fault() {
+                    return Err(f.into());
+                }
             }
             (nf, np)
         };
@@ -440,6 +449,9 @@ pub fn run_query(
 
     // --- results back to the host -------------------------------------------
     now = dev.mem.copy_d2h(labels, n as u64, now);
+    if let Some(f) = dev.take_fault() {
+        return Err(f.into());
+    }
     let labels_host = dev.mem.host_read(labels, 0, n as u64).to_vec();
 
     // Only this query's spans (warm sessions accumulate earlier queries').

@@ -6,6 +6,7 @@
 //! layer that admits untrusted request streams needs them as values it can
 //! turn into per-request rejections instead of process aborts.
 
+use eta_fault::DeviceFault;
 use eta_mem::system::MemError;
 
 /// Why a query could not run.
@@ -15,6 +16,11 @@ pub enum QueryError {
     SourceOutOfRange { source: u32, vertices: usize },
     /// Device memory management failed (the paper's "O.O.M").
     Mem(MemError),
+    /// The device failed mid-query (injected ECC error, kernel hang, UM
+    /// migration failure — see eta-fault). Unlike the other variants this is
+    /// retryable: the serving layer's recovery ladder re-queues, quarantines
+    /// the device, and falls back to the CPU reference as a last resort.
+    DeviceFault(DeviceFault),
 }
 
 impl std::fmt::Display for QueryError {
@@ -25,6 +31,7 @@ impl std::fmt::Display for QueryError {
                 "source {source} out of range (graph has {vertices} vertices)"
             ),
             QueryError::Mem(e) => write!(f, "{e}"),
+            QueryError::DeviceFault(fault) => write!(f, "{fault}"),
         }
     }
 }
@@ -34,6 +41,12 @@ impl std::error::Error for QueryError {}
 impl From<MemError> for QueryError {
     fn from(e: MemError) -> Self {
         QueryError::Mem(e)
+    }
+}
+
+impl From<DeviceFault> for QueryError {
+    fn from(f: DeviceFault) -> Self {
+        QueryError::DeviceFault(f)
     }
 }
 
@@ -63,6 +76,21 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("source 10 out of range"));
+    }
+
+    #[test]
+    fn device_faults_convert_and_format() {
+        let e: QueryError = DeviceFault {
+            kind: eta_fault::FaultKind::KernelHang,
+            device: 1,
+            at_ns: 42,
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "device 1 fault kernel_hang at 42 ns",
+            "typed fault keeps its provenance through the error"
+        );
     }
 
     #[test]

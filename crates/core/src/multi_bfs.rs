@@ -338,6 +338,9 @@ pub fn run_on(
         now = r.end_ns.max(r.metrics.data_ready_ns);
         metrics.merge(&r.metrics);
         kernel_ns += r.metrics.time_ns;
+        if let Some(f) = dev.take_fault() {
+            return Err(f.into());
+        }
 
         let (nf, t) = full.read_count(dev, now);
         let (np, t2) = partial.read_count(dev, t);
@@ -363,6 +366,9 @@ pub fn run_on(
             now = r.end_ns.max(r.metrics.data_ready_ns);
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
+            if let Some(f) = dev.take_fault() {
+                return Err(f.into());
+            }
         }
 
         // New frontier: swap its fresh masks in, then continue.
@@ -379,12 +385,18 @@ pub fn run_on(
             now = r.end_ns;
             metrics.merge(&r.metrics);
             kernel_ns += r.metrics.time_ns;
+            if let Some(f) = dev.take_fault() {
+                return Err(f.into());
+            }
         }
         queues = (queues.1, queues.0);
         act_len = len;
     }
 
     now = dev.mem.copy_d2h(levels, n as u64 * b as u64, now);
+    if let Some(f) = dev.take_fault() {
+        return Err(f.into());
+    }
     let flat = dev.mem.host_read(levels, 0, n as u64 * b as u64);
     let out = (0..b)
         .map(|s| flat[s * n as usize..(s + 1) * n as usize].to_vec())

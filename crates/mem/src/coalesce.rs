@@ -31,12 +31,22 @@ pub fn sector_of_word(word_addr: u64) -> u64 {
 /// of `mask` is set. The result is sorted and deduplicated; its length is the
 /// number of memory transactions the instruction issues.
 ///
+/// A warp has at most 32 lanes, so `addrs.len() <= 32` is part of the
+/// contract (debug-asserted). In release builds extra entries are ignored —
+/// the mask is only 32 bits wide, so lanes past 32 could never participate
+/// anyway.
+///
 /// `scratch` is reused between calls to avoid per-instruction allocation —
 /// this is the hottest function in the simulator.
 pub fn sectors_for_warp(addrs: &[u64], mask: u32, scratch: &mut Vec<u64>) {
+    debug_assert!(
+        addrs.len() <= 32,
+        "a warp has at most 32 lanes (got {} addresses)",
+        addrs.len()
+    );
     scratch.clear();
-    for (lane, &a) in addrs.iter().enumerate() {
-        if lane < 32 && (mask >> lane) & 1 == 1 {
+    for (lane, &a) in addrs.iter().take(32).enumerate() {
+        if (mask >> lane) & 1 == 1 {
             scratch.push(sector_of_word(a));
         }
     }
@@ -88,6 +98,15 @@ mod tests {
         assert_eq!(sector_of_word(8), 1);
         assert_eq!(sector_of_word(15), 1);
         assert_eq!(sector_of_word(16), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "at most 32 lanes"))]
+    fn more_than_32_lanes_is_a_contract_violation() {
+        // Debug builds reject the call outright; release builds ignore the
+        // un-addressable extra lanes (the mask is only 32 bits wide).
+        let addrs: Vec<u64> = (0..40).map(|i| i * 1024).collect();
+        assert_eq!(sectors(&addrs, u32::MAX).len(), 32);
     }
 
     #[test]

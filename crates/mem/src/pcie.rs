@@ -31,6 +31,11 @@ pub struct PcieLink {
     pub timeline: Timeline,
     /// Total payload bytes moved (both directions).
     bytes_moved: u64,
+    /// Degradation windows `(start, end, factor)`: a transfer *starting*
+    /// inside `[start, end)` takes `factor`× its nominal wire time (link
+    /// retraining, lane drop). Empty by default, so the untouched link is
+    /// byte-identical to one that predates fault injection.
+    slowdowns: Vec<(Ns, Ns, f64)>,
 }
 
 impl PcieLink {
@@ -43,7 +48,14 @@ impl PcieLink {
             busy_until: 0,
             timeline: Timeline::new(),
             bytes_moved: 0,
+            slowdowns: Vec::new(),
         }
+    }
+
+    /// Installs bandwidth-degradation windows (from a fault plan). Windows
+    /// are configuration, not run state: [`Self::reset`] keeps them.
+    pub fn set_slowdowns(&mut self, windows: Vec<(Ns, Ns, f64)>) {
+        self.slowdowns = windows;
     }
 
     pub fn latency_ns(&self) -> Ns {
@@ -95,13 +107,21 @@ impl PcieLink {
     ) -> (Ns, Ns) {
         debug_assert!(kind.is_transfer(), "compute spans don't use the link");
         let start = now.max(self.busy_until);
-        let wire = match kind {
+        let mut wire = match kind {
             // Explicit copies of pageable host memory pay the staging tax.
             SpanKind::CopyH2D | SpanKind::CopyD2H => {
                 (self.wire_time(bytes) as f64 / PAGEABLE_FACTOR).ceil() as Ns
             }
             _ => self.wire_time(bytes),
         };
+        // Overlapping degradation windows compound multiplicatively. With no
+        // matching window (the common case) `wire` is untouched, keeping the
+        // empty-plan path byte-identical.
+        for &(w_start, w_end, factor) in &self.slowdowns {
+            if w_start <= start && start < w_end {
+                wire = (wire as f64 * factor).ceil() as Ns;
+            }
+        }
         let end = start + self.latency_ns + extra_setup_ns + wire;
         self.busy_until = end;
         self.bytes_moved += bytes;
@@ -158,6 +178,26 @@ mod tests {
             faulting_total > 5 * chunk_end,
             "page-by-page ({faulting_total} ns) must be much slower than one chunk ({chunk_end} ns)"
         );
+    }
+
+    #[test]
+    fn slowdown_windows_scale_wire_time_only_inside_the_window() {
+        let mut link = PcieLink::new(1.0, 100);
+        link.set_slowdowns(vec![(0, 1000, 3.0)]);
+        // Starts at 0, inside the window: 100 latency + 3×1000 wire.
+        let (_, e1) = link.transfer(SpanKind::Migration, 1000, 0);
+        assert_eq!(e1, 3100);
+        // Starts after the window closes: nominal timing.
+        let (_, e2) = link.transfer(SpanKind::Migration, 1000, 5000);
+        assert_eq!(e2, 5000 + 100 + 1000);
+        // No windows installed: byte-identical to the nominal link.
+        let mut plain = PcieLink::new(1.0, 100);
+        let (_, e3) = plain.transfer(SpanKind::Migration, 1000, 0);
+        assert_eq!(e3, 1100);
+        // Reset keeps the windows (they are configuration).
+        link.reset();
+        let (_, e4) = link.transfer(SpanKind::Migration, 1000, 0);
+        assert_eq!(e4, 3100);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::pcie::PcieLink;
 use crate::timeline::{Span, SpanKind};
 use crate::um::{UmDriver, UmRegion, PAGE_BYTES, PAGE_WORDS};
 use crate::Ns;
+use eta_fault::{DeviceFault, DeviceFaultState, FaultKind, FaultPlan};
 use eta_prof::{ArgValue, Profiler, Track};
 
 /// How a region behaves with respect to device residency.
@@ -170,6 +171,9 @@ pub struct MemSystem {
     /// Event recorder shared by every layer above (disabled by default —
     /// `eta_sim::Device` enables it when its config asks for profiling).
     pub prof: Profiler,
+    /// Fault-injection state (inert by default; see
+    /// [`MemSystem::install_faults`] and eta-fault).
+    pub faults: DeviceFaultState,
 }
 
 impl MemSystem {
@@ -184,7 +188,17 @@ impl MemSystem {
             zero_copy_bytes: 0,
             shadow: None,
             prof: Profiler::off(),
+            faults: DeviceFaultState::default(),
         }
+    }
+
+    /// Installs `plan`'s faults for device `device`: the per-device slice of
+    /// ECC/UM/hang events lands in [`MemSystem::faults`], PCIe degradation
+    /// windows install directly on the link. Installing an empty plan leaves
+    /// every timing byte-identical to never having called this.
+    pub fn install_faults(&mut self, plan: &FaultPlan, device: u32) {
+        self.faults = DeviceFaultState::from_plan(plan, device);
+        self.pcie.set_slowdowns(plan.pcie_windows(device));
     }
 
     /// Mirrors the link spans recorded since `mark` into the profiler. The
@@ -435,10 +449,46 @@ impl MemSystem {
                 pages.dedup();
                 let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
                 let mark = self.pcie.timeline.spans().len();
-                let end = self
+                let mut end = self
                     .um
                     .touch_pages(um_index, &pages, now, budget, &mut self.pcie);
                 self.prof_link_spans(mark);
+                // Fault injection applies to *demand* migrations only (a
+                // prefetch is driver-paced and retries internally). A touch
+                // that migrated nothing stays untouched, so the no-fault
+                // timing path is byte-identical.
+                if self.faults.active
+                    && self.pcie.timeline.spans()[mark..]
+                        .iter()
+                        .any(|s| s.kind == SpanKind::Migration)
+                {
+                    let extra = self.faults.storm_extra(now);
+                    if extra > 0 {
+                        self.faults.counters.storms += 1;
+                        end += extra;
+                        self.prof.instant(
+                            Track::Fault,
+                            "um_storm",
+                            end,
+                            vec![("extra_ns", extra.into())],
+                        );
+                    }
+                    if self.faults.migration_fail(now).is_some() && !self.faults.has_pending() {
+                        self.faults.counters.um_failures += 1;
+                        let device = self.faults.device();
+                        self.faults.set_pending(DeviceFault {
+                            kind: FaultKind::UmMigrationFail,
+                            device,
+                            at_ns: end,
+                        });
+                        self.prof.instant(
+                            Track::Fault,
+                            "um_migration_fail",
+                            end,
+                            vec![("device", device.into())],
+                        );
+                    }
+                }
                 end
             }
         }
@@ -644,6 +694,73 @@ mod tests {
         m.copy_h2d(a, 0, &vec![1u32; 1024], 0);
         assert!(m.prof.is_empty());
         assert_eq!(m.prof.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn um_migration_fail_window_sets_a_pending_fault() {
+        use eta_fault::{FaultPlan, UmFault, UmFaultKind};
+        let mut m = system(1 << 24);
+        let mut plan = FaultPlan::default();
+        plan.um.push(UmFault {
+            device: 0,
+            start_ns: 0,
+            end_ns: u64::MAX,
+            kind: UmFaultKind::MigrationFail,
+            extra_ns: 0,
+        });
+        m.install_faults(&plan, 0);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 8);
+        let end = m.ensure_resident(a.region, &[a.word_off / 8], 0);
+        let fault = m.faults.take_pending().expect("demand migration failed");
+        assert_eq!(fault.kind, eta_fault::FaultKind::UmMigrationFail);
+        assert_eq!(fault.at_ns, end);
+        assert_eq!(m.faults.counters.um_failures, 1);
+        // Resident re-touch migrates nothing: no new fault.
+        m.ensure_resident(a.region, &[a.word_off / 8], end);
+        assert!(m.faults.take_pending().is_none());
+    }
+
+    #[test]
+    fn um_storm_window_slows_demand_migration() {
+        use eta_fault::{FaultPlan, UmFault, UmFaultKind};
+        let mut baseline = system(1 << 24);
+        let a = baseline.alloc_unified(PAGE_BYTES / 4 * 8);
+        let clean_end = baseline.ensure_resident(a.region, &[a.word_off / 8], 0);
+
+        let mut m = system(1 << 24);
+        let mut plan = FaultPlan::default();
+        plan.um.push(UmFault {
+            device: 0,
+            start_ns: 0,
+            end_ns: u64::MAX,
+            kind: UmFaultKind::Storm,
+            extra_ns: 1234,
+        });
+        m.install_faults(&plan, 0);
+        let b = m.alloc_unified(PAGE_BYTES / 4 * 8);
+        let end = m.ensure_resident(b.region, &[b.word_off / 8], 0);
+        assert_eq!(end, clean_end + 1234);
+        assert_eq!(m.faults.counters.storms, 1);
+        assert!(m.faults.take_pending().is_none(), "storms slow, not fail");
+    }
+
+    #[test]
+    fn installing_an_empty_plan_changes_nothing() {
+        let mut clean = system(1 << 24);
+        let a = clean.alloc_unified(PAGE_BYTES / 4 * 8);
+        let t_clean = clean.ensure_resident(a.region, &[a.word_off / 8], 0);
+
+        let mut m = system(1 << 24);
+        m.install_faults(&eta_fault::FaultPlan::default(), 0);
+        assert!(!m.faults.active);
+        let b = m.alloc_unified(PAGE_BYTES / 4 * 8);
+        let t = m.ensure_resident(b.region, &[b.word_off / 8], 0);
+        assert_eq!(t, t_clean);
+        assert_eq!(
+            m.pcie.timeline.spans(),
+            clean.pcie.timeline.spans(),
+            "empty plan: identical link timeline"
+        );
     }
 
     #[test]

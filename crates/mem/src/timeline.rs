@@ -45,7 +45,7 @@ impl SpanKind {
 }
 
 /// One contiguous interval of busy time on a resource.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Span {
     pub kind: SpanKind,
     pub start: Ns,

@@ -18,6 +18,9 @@ pub enum Track {
     Iteration,
     /// Serve-scheduler events: arrivals, rejections, batches.
     Sched,
+    /// Fault-injection events: ECC errors, hangs, UM failures, retries,
+    /// quarantines, CPU fallbacks (see eta-fault and PROFILING.md).
+    Fault,
 }
 
 impl Track {
@@ -29,6 +32,7 @@ impl Track {
             Track::Um => 3,
             Track::Iteration => 4,
             Track::Sched => 5,
+            Track::Fault => 6,
         }
     }
 
@@ -40,17 +44,19 @@ impl Track {
             Track::Um => "unified memory",
             Track::Iteration => "engine iterations",
             Track::Sched => "scheduler",
+            Track::Fault => "faults",
         }
     }
 
     /// All tracks, in tid order.
-    pub fn all() -> [Track; 5] {
+    pub fn all() -> [Track; 6] {
         [
             Track::Kernel,
             Track::Transfer,
             Track::Um,
             Track::Iteration,
             Track::Sched,
+            Track::Fault,
         ]
     }
 }

@@ -34,6 +34,10 @@ pub fn dur(ns: Ns) -> String {
 /// a given value; all profiled floats are themselves deterministic.
 pub fn f64_json(x: f64) -> String {
     if x.is_finite() {
+        // Normalize negative zero (e.g. `-0.4e-7` rounded to six places, or
+        // `0.0 * -1.0` from an empty-window division): `-0.000000` and
+        // `0.000000` are the same value and must format identically.
+        let x = if x == 0.0 { 0.0 } else { x };
         format!("{x:.6}")
     } else {
         // JSON has no NaN/inf; counters should never produce them, but a
@@ -42,9 +46,17 @@ pub fn f64_json(x: f64) -> String {
     }
 }
 
-/// Percentage with two decimals, e.g. `43.21%`.
+/// Percentage with two decimals, e.g. `43.21%`. Non-finite fractions (a
+/// 0/0 share from an empty window) render as a stable `--%` token, and
+/// negative zero is normalized, so the output is byte-stable for every
+/// input.
 pub fn pct(fraction: f64) -> String {
-    format!("{:.2}%", fraction * 100.0)
+    if !fraction.is_finite() {
+        return "--%".to_string();
+    }
+    let scaled = fraction * 100.0;
+    let scaled = if scaled == 0.0 { 0.0 } else { scaled };
+    format!("{scaled:.2}%")
 }
 
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
@@ -91,6 +103,21 @@ mod tests {
         assert_eq!(f64_json(f64::NAN), "null");
         assert_eq!(f64_json(f64::INFINITY), "null");
         assert_eq!(pct(0.4321), "43.21%");
+    }
+
+    #[test]
+    fn edge_values_format_byte_stably() {
+        // Negative zero (0/−x, or a tiny negative rounded to zero) must not
+        // leak a sign into diffs against the positive-zero path.
+        assert_eq!(f64_json(-0.0), "0.000000");
+        assert_eq!(f64_json(-1e-12), "-0.000000");
+        assert_eq!(pct(-0.0), "0.00%");
+        assert_eq!(pct(0.0), "0.00%");
+        // Shares from an empty window (0/0 or x/0) get a stable token
+        // instead of `NaN%`/`inf%`.
+        assert_eq!(pct(f64::NAN), "--%");
+        assert_eq!(pct(f64::INFINITY), "--%");
+        assert_eq!(pct(f64::NEG_INFINITY), "--%");
     }
 
     #[test]

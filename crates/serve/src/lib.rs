@@ -20,6 +20,15 @@
 //!   compute) and per-device utilization, as plain serializable records;
 //!   percentile math lives in `eta-bench`'s `stats` module.
 //!
+//! With a non-empty [`eta_fault::FaultPlan`] in [`ServeConfig::faults`],
+//! the service survives injected device failures through a three-rung
+//! recovery ladder: per-request retry with exponential backoff, quarantine
+//! of repeatedly-faulting devices, and a last-resort CPU fallback that
+//! answers from `eta_graph::reference` with `degraded: true`. The report
+//! then carries availability, fault events, and quarantine windows. The
+//! default (empty) plan is inert and byte-identical to the pre-fault
+//! service.
+//!
 //! Everything is deterministic: the same registry, config, and trace produce
 //! byte-identical reports, because all time is simulated and all randomness
 //! is counter-based. With profiling on (`GpuConfig::with_profiling`), the
@@ -52,7 +61,9 @@ pub mod workload;
 
 pub use pool::DeviceWorker;
 pub use registry::GraphRegistry;
-pub use report::{BatchRecord, DeviceStats, RequestRecord, ServeReport};
+pub use report::{
+    BatchRecord, DeviceStats, FaultEvent, QuarantineRecord, RequestRecord, ServeReport,
+};
 pub use request::{Priority, RejectReason, Rejection, Request};
 pub use sched::{Policy, ServeConfig, Service};
 pub use workload::{poisson_trace, WorkloadConfig};

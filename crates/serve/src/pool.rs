@@ -13,6 +13,7 @@ use etagraph::device_graph::DeviceGraph;
 use etagraph::multi_bfs::{self, MultiBfsResources, MultiBfsResult};
 use etagraph::{EtaConfig, QueryError, TransferMode};
 
+use eta_fault::FaultPlan;
 use eta_graph::Csr;
 use eta_mem::Ns;
 use eta_sim::{Device, GpuConfig};
@@ -42,6 +43,15 @@ pub struct DeviceWorker {
     pub uploads: u32,
     /// Resident graphs evicted to make room.
     pub evictions: u32,
+    /// The scheduler keeps this device out of dispatch until this time
+    /// (0 = never quarantined). Set after repeated faults; the device is
+    /// re-probed by ordinary dispatch once the window passes.
+    pub quarantined_until: Ns,
+    /// Faults since the last successful batch; quarantine triggers when
+    /// this reaches the configured threshold.
+    pub consecutive_faults: u32,
+    /// Total device faults observed over the whole run.
+    pub faults: u32,
     resident: BTreeMap<String, ResidentGraph>,
     lru_tick: u64,
 }
@@ -55,9 +65,19 @@ impl DeviceWorker {
             busy_ns: 0,
             uploads: 0,
             evictions: 0,
+            quarantined_until: 0,
+            consecutive_faults: 0,
+            faults: 0,
             resident: BTreeMap::new(),
             lru_tick: 0,
         }
+    }
+
+    /// Installs this worker's slice of a fault plan on its device (the
+    /// plan's per-device events are filtered by `self.id`). An empty plan
+    /// is inert.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.dev.install_faults(plan, self.id as u32);
     }
 
     /// Explicit device bytes serving `csr` will pin: the reusable batch

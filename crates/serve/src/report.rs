@@ -36,6 +36,12 @@ pub struct RequestRecord {
     pub reached: u32,
     /// Whether completion beat the request's deadline; `None` = no deadline.
     pub deadline_met: Option<bool>,
+    /// `true` when the answer came from the CPU reference fallback after the
+    /// device-side recovery ladder was exhausted. The answer is still
+    /// correct — "degraded" refers to the service path, not the result.
+    pub degraded: bool,
+    /// Device-fault retries this request went through before completing.
+    pub retries: u32,
 }
 
 /// One batched launch: which device, which graph, how many sources rode
@@ -63,12 +69,38 @@ pub struct DeviceStats {
     pub evictions: u32,
 }
 
+/// One injected device fault the scheduler observed (a batch failed).
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultEvent {
+    pub device: u32,
+    /// Stable fault name (`ecc_double_bit`, `kernel_hang`,
+    /// `um_migration_fail`).
+    pub kind: String,
+    /// When the device reported the fault, on the service clock.
+    pub at_ns: Ns,
+}
+
+/// One quarantine window: the scheduler kept the device out of dispatch
+/// for `[from_ns, until_ns)` after repeated faults.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuarantineRecord {
+    pub device: u32,
+    pub from_ns: Ns,
+    pub until_ns: Ns,
+}
+
 /// The full outcome of serving one trace. Deterministic: identical inputs
 /// serialize byte-identically.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeReport {
     pub completed: u32,
     pub rejected: u32,
+    /// Completed requests answered by the CPU fallback (`degraded: true`).
+    pub degraded: u32,
+    /// completed / (completed + rejected); `1.0` for an empty trace. The
+    /// recovery ladder keeps device faults out of this number — a faulted
+    /// request counts as completed once a retry or the fallback answers it.
+    pub availability: f64,
     /// First arrival → last completion on the service clock.
     pub makespan_ns: Ns,
     /// Completed requests per simulated second.
@@ -77,6 +109,10 @@ pub struct ServeReport {
     pub rejections: Vec<Rejection>,
     pub batches: Vec<BatchRecord>,
     pub devices: Vec<DeviceStats>,
+    /// Every device fault the scheduler observed, in observation order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Quarantine windows imposed on repeatedly-faulting devices.
+    pub quarantines: Vec<QuarantineRecord>,
 }
 
 impl ServeReport {
@@ -130,6 +166,8 @@ mod tests {
             device: 0,
             reached: 1,
             deadline_met: met,
+            degraded: false,
+            retries: 0,
         }
     }
 
@@ -138,6 +176,8 @@ mod tests {
         let report = ServeReport {
             completed: 3,
             rejected: 0,
+            degraded: 0,
+            availability: 1.0,
             makespan_ns: 100,
             throughput_qps: 0.0,
             records: vec![
@@ -165,6 +205,8 @@ mod tests {
                 },
             ],
             devices: vec![],
+            fault_events: vec![],
+            quarantines: vec![],
         };
         assert_eq!(report.latencies_ns(None), vec![10, 20, 30]);
         assert_eq!(

@@ -42,8 +42,10 @@ pub struct Request {
     /// Absolute completion deadline (the request's SLO); `None` = best
     /// effort. Deadlines order dispatch but never cause a drop.
     pub deadline_ns: Option<Ns>,
-    /// Maximum queue wait; a request older than this at dispatch time is
-    /// dropped with [`RejectReason::TimedOut`].
+    /// Maximum queue wait; a request whose wait has *reached* this at
+    /// dispatch time is dropped with [`RejectReason::TimedOut`]. The bound
+    /// is inclusive, so `Some(0)` is rejected at its first dispatch even
+    /// when that dispatch happens at the arrival tick itself.
     pub timeout_ns: Option<Ns>,
 }
 

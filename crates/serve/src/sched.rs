@@ -12,13 +12,17 @@
 
 use crate::pool::DeviceWorker;
 use crate::registry::GraphRegistry;
-use crate::report::{BatchRecord, DeviceStats, RequestRecord, ServeReport};
+use crate::report::{
+    BatchRecord, DeviceStats, FaultEvent, QuarantineRecord, RequestRecord, ServeReport,
+};
 use crate::request::{RejectReason, Rejection, Request};
+use eta_fault::FaultPlan;
+use eta_graph::{reference, Csr};
 use eta_mem::Ns;
 use eta_prof::{Profile, Profiler, Track};
 use eta_sim::GpuConfig;
 use etagraph::multi_bfs::MAX_BATCH;
-use etagraph::EtaConfig;
+use etagraph::{EtaConfig, QueryError};
 use serde::Serialize;
 
 /// Dispatch-order policy.
@@ -55,6 +59,20 @@ pub struct ServeConfig {
     /// up to [`MAX_BATCH`]).
     pub max_batch: usize,
     pub policy: Policy,
+    /// Device-fault injection plan, installed per device at construction.
+    /// The default (empty) plan is inert: the service behaves — and its
+    /// report serializes — exactly as if the fault machinery did not exist.
+    pub faults: FaultPlan,
+    /// Device-fault retries per request before the CPU fallback answers it.
+    pub max_retries: u32,
+    /// First retry delay; doubles per retry (`base << retries`, simulated
+    /// time).
+    pub backoff_base_ns: Ns,
+    /// Consecutive faults (no intervening success) that quarantine a device.
+    pub quarantine_after: u32,
+    /// How long a quarantined device sits out of dispatch before the
+    /// scheduler re-probes it with ordinary traffic.
+    pub quarantine_ns: Ns,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +84,25 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             max_batch: MAX_BATCH,
             policy: Policy::PriorityDeadline,
+            faults: FaultPlan::default(),
+            max_retries: 2,
+            backoff_base_ns: 50_000,
+            quarantine_after: 3,
+            quarantine_ns: 2_000_000,
         }
     }
+}
+
+/// A queued request plus its scheduler-side retry state. The public
+/// [`Request`] stays a pure tenant-facing value; retry bookkeeping never
+/// leaks into it.
+#[derive(Debug, Clone)]
+struct Queued {
+    req: Request,
+    /// Device-fault retries so far.
+    retries: u32,
+    /// Backoff gate: not dispatchable before this time.
+    not_before: Ns,
 }
 
 /// The running service: registry + device pool + scheduler state.
@@ -88,7 +123,11 @@ impl<'r> Service<'r> {
             "max_batch must be 1..={MAX_BATCH}"
         );
         let workers = (0..cfg.devices)
-            .map(|id| DeviceWorker::new(id, cfg.gpu))
+            .map(|id| {
+                let mut w = DeviceWorker::new(id, cfg.gpu);
+                w.install_faults(&cfg.faults);
+                w
+            })
             .collect();
         let prof = Profiler::new(cfg.gpu.profiling);
         Service {
@@ -124,10 +163,12 @@ impl<'r> Service<'r> {
             trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
             "trace must be sorted by arrival time"
         );
-        let mut queue: Vec<Request> = Vec::new();
+        let mut queue: Vec<Queued> = Vec::new();
         let mut records: Vec<RequestRecord> = Vec::new();
         let mut rejections: Vec<Rejection> = Vec::new();
         let mut batches: Vec<BatchRecord> = Vec::new();
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let mut quarantines: Vec<QuarantineRecord> = Vec::new();
         let mut next = 0usize;
         let mut now: Ns = 0;
         loop {
@@ -135,27 +176,47 @@ impl<'r> Service<'r> {
                 self.admit(&trace[next], now, &mut queue, &mut rejections);
                 next += 1;
             }
-            if !queue.is_empty() && self.workers.iter().any(|w| w.free_at <= now) {
-                self.dispatch(now, &mut queue, &mut records, &mut rejections, &mut batches);
+            let dispatchable = queue.iter().any(|q| q.not_before <= now)
+                && self
+                    .workers
+                    .iter()
+                    .any(|w| w.free_at <= now && w.quarantined_until <= now);
+            if dispatchable {
+                self.dispatch(
+                    now,
+                    &mut queue,
+                    &mut records,
+                    &mut rejections,
+                    &mut batches,
+                    &mut fault_events,
+                    &mut quarantines,
+                );
                 continue;
             }
             // Nothing dispatchable: advance to the next event.
             let t_arrival = trace.get(next).map(|r| r.arrival_ns);
-            let t_free = if queue.is_empty() {
+            let t_worker = if queue.is_empty() {
                 None // an idle device with an empty queue is not an event
             } else {
                 self.workers
                     .iter()
-                    .map(|w| w.free_at)
+                    .flat_map(|w| [w.free_at, w.quarantined_until])
                     .filter(|&t| t > now)
                     .min()
             };
-            match [t_arrival, t_free].into_iter().flatten().min() {
+            // Backoff gates are events too: a retried request wakes the
+            // loop when its `not_before` passes, even with devices idle.
+            let t_backoff = queue
+                .iter()
+                .map(|q| q.not_before)
+                .filter(|&t| t > now)
+                .min();
+            match [t_arrival, t_worker, t_backoff].into_iter().flatten().min() {
                 Some(t) => now = t,
                 None => break,
             }
         }
-        self.finish(records, rejections, batches)
+        self.finish(records, rejections, batches, fault_events, quarantines)
     }
 
     /// Admission control at arrival time. Every refusal is a typed
@@ -164,7 +225,7 @@ impl<'r> Service<'r> {
         &mut self,
         req: &Request,
         now: Ns,
-        queue: &mut Vec<Request>,
+        queue: &mut Vec<Queued>,
         rejections: &mut Vec<Rejection>,
     ) {
         let prof = &mut self.prof;
@@ -199,7 +260,11 @@ impl<'r> Service<'r> {
         if queue.len() >= self.cfg.queue_capacity {
             return reject(RejectReason::QueueFull);
         }
-        queue.push(req.clone());
+        queue.push(Queued {
+            req: req.clone(),
+            retries: 0,
+            not_before: now,
+        });
         if self.prof.is_enabled() {
             self.prof.instant(
                 Track::Sched,
@@ -217,31 +282,44 @@ impl<'r> Service<'r> {
 
     /// One dispatch decision at time `now`: drop expired requests, order
     /// the queue by policy, coalesce the head's graph-mates into a batch,
-    /// and run it on the lowest-numbered idle device.
+    /// and run it on the lowest-numbered idle (and not quarantined) device.
+    ///
+    /// A batch that fails with [`QueryError::DeviceFault`] walks the
+    /// recovery ladder: each rider is re-queued with exponential backoff
+    /// until `max_retries`, after which the CPU reference answers it with
+    /// `degraded: true`. The faulting device accrues consecutive-fault
+    /// strikes and is quarantined at `quarantine_after`.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         now: Ns,
-        queue: &mut Vec<Request>,
+        queue: &mut Vec<Queued>,
         records: &mut Vec<RequestRecord>,
         rejections: &mut Vec<Rejection>,
         batches: &mut Vec<BatchRecord>,
+        fault_events: &mut Vec<FaultEvent>,
+        quarantines: &mut Vec<QuarantineRecord>,
     ) {
         let prof = &mut self.prof;
-        queue.retain(|r| match r.timeout_ns {
-            Some(limit) if now - r.arrival_ns > limit => {
+        // Timeout semantics are inclusive at the boundary tick: a request
+        // whose wait has *reached* its limit is already too old to serve
+        // (so `timeout_ns: Some(0)` never dispatches, even at its own
+        // arrival tick).
+        queue.retain(|q| match q.req.timeout_ns {
+            Some(limit) if now - q.req.arrival_ns >= limit => {
                 if prof.is_enabled() {
                     prof.instant(
                         Track::Sched,
                         "reject",
                         now,
                         vec![
-                            ("id", r.id.into()),
+                            ("id", q.req.id.into()),
                             ("reason", RejectReason::TimedOut.name().into()),
                         ],
                     );
                 }
                 rejections.push(Rejection {
-                    id: r.id,
+                    id: q.req.id,
                     reason: RejectReason::TimedOut,
                     at_ns: now,
                 });
@@ -249,27 +327,28 @@ impl<'r> Service<'r> {
             }
             _ => true,
         });
-        if queue.is_empty() {
-            return;
-        }
         match self.cfg.policy {
-            Policy::Fifo => queue.sort_by_key(|r| (r.arrival_ns, r.id)),
-            Policy::PriorityDeadline => queue.sort_by_key(|r| {
+            Policy::Fifo => queue.sort_by_key(|q| (q.req.arrival_ns, q.req.id)),
+            Policy::PriorityDeadline => queue.sort_by_key(|q| {
                 (
-                    r.class.rank(),
-                    r.deadline_ns.unwrap_or(Ns::MAX),
-                    r.arrival_ns,
-                    r.id,
+                    q.req.class.rank(),
+                    q.req.deadline_ns.unwrap_or(Ns::MAX),
+                    q.req.arrival_ns,
+                    q.req.id,
                 )
             }),
         }
-        // The head defines the batch's graph; later queue entries for the
-        // same graph ride along, up to `max_batch`.
-        let graph = queue[0].graph.clone();
-        let mut batch: Vec<Request> = Vec::new();
-        queue.retain(|r| {
-            if batch.len() < self.cfg.max_batch && r.graph == graph {
-                batch.push(r.clone());
+        // The first dispatchable entry (backoff gate passed) defines the
+        // batch's graph; later dispatchable entries for the same graph ride
+        // along, up to `max_batch`. Entries still backing off stay queued.
+        let Some(head) = queue.iter().find(|q| q.not_before <= now) else {
+            return; // every dispatchable entry timed out above
+        };
+        let graph = head.req.graph.clone();
+        let mut batch: Vec<Queued> = Vec::new();
+        queue.retain(|q| {
+            if batch.len() < self.cfg.max_batch && q.req.graph == graph && q.not_before <= now {
+                batch.push(q.clone());
                 false
             } else {
                 true
@@ -278,7 +357,7 @@ impl<'r> Service<'r> {
         let worker = self
             .workers
             .iter_mut()
-            .find(|w| w.free_at <= now)
+            .find(|w| w.free_at <= now && w.quarantined_until <= now)
             .expect("dispatch requires an idle worker");
         let csr = self.registry.get(&graph).expect("validated at admission");
         let cfg = &self.cfg.eta;
@@ -288,20 +367,20 @@ impl<'r> Service<'r> {
                 // The pool could not make room (e.g. memory fragmentation
                 // across co-resident tenants). Refuse this batch; the rest
                 // of the queue keeps flowing.
-                for r in &batch {
+                for q in &batch {
                     if self.prof.is_enabled() {
                         self.prof.instant(
                             Track::Sched,
                             "reject",
                             now,
                             vec![
-                                ("id", r.id.into()),
+                                ("id", q.req.id.into()),
                                 ("reason", RejectReason::AdmissionDenied.name().into()),
                             ],
                         );
                     }
                     rejections.push(Rejection {
-                        id: r.id,
+                        id: q.req.id,
                         reason: RejectReason::AdmissionDenied,
                         at_ns: now,
                     });
@@ -310,11 +389,116 @@ impl<'r> Service<'r> {
             }
         };
         worker.pin(&graph);
-        let sources: Vec<u32> = batch.iter().map(|r| r.source).collect();
-        let result = worker
-            .run_batch(&graph, &sources, cfg, ready)
-            .expect("sources validated at admission");
+        let sources: Vec<u32> = batch.iter().map(|q| q.req.source).collect();
+        let result = worker.run_batch(&graph, &sources, cfg, ready);
         worker.unpin(&graph);
+        let result = match result {
+            Ok(r) => r,
+            Err(QueryError::DeviceFault(fault)) => {
+                // The device clock stopped where the fault surfaced; the
+                // worker was busy (and the requests were in flight) until
+                // then.
+                let fail_at = fault.at_ns.max(now);
+                worker.busy_ns += fail_at - now;
+                worker.free_at = fail_at;
+                worker.consecutive_faults += 1;
+                worker.faults += 1;
+                let device = worker.id as u32;
+                fault_events.push(FaultEvent {
+                    device,
+                    kind: fault.kind.name().to_string(),
+                    at_ns: fault.at_ns,
+                });
+                if self.prof.is_enabled() {
+                    self.prof.instant(
+                        Track::Fault,
+                        "device_fault",
+                        fail_at,
+                        vec![
+                            ("device", device.into()),
+                            ("kind", fault.kind.name().into()),
+                        ],
+                    );
+                }
+                if worker.consecutive_faults >= self.cfg.quarantine_after {
+                    worker.quarantined_until = fail_at + self.cfg.quarantine_ns;
+                    worker.consecutive_faults = 0;
+                    quarantines.push(QuarantineRecord {
+                        device,
+                        from_ns: fail_at,
+                        until_ns: worker.quarantined_until,
+                    });
+                    if self.prof.is_enabled() {
+                        self.prof.instant(
+                            Track::Fault,
+                            "quarantine",
+                            fail_at,
+                            vec![
+                                ("device", device.into()),
+                                ("until_ns", worker.quarantined_until.into()),
+                            ],
+                        );
+                    }
+                }
+                for q in batch {
+                    if q.retries >= self.cfg.max_retries {
+                        // Rung 3: the CPU reference answers. Slow but sure —
+                        // the response is correct, only the path is degraded.
+                        let levels = reference::bfs(csr, q.req.source);
+                        let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
+                        let cpu_ns = Self::cpu_fallback_ns(csr);
+                        let completion = fail_at + cpu_ns;
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Fault,
+                                "cpu_fallback",
+                                fail_at,
+                                vec![("id", q.req.id.into()), ("cpu_ns", cpu_ns.into())],
+                            );
+                        }
+                        records.push(RequestRecord {
+                            id: q.req.id,
+                            graph: q.req.graph.clone(),
+                            class: q.req.class,
+                            source: q.req.source,
+                            arrival_ns: q.req.arrival_ns,
+                            queue_wait_ns: now - q.req.arrival_ns,
+                            transfer_ns: 0,
+                            compute_ns: cpu_ns,
+                            latency_ns: completion - q.req.arrival_ns,
+                            batch_size: 1,
+                            device,
+                            reached,
+                            deadline_met: q.req.deadline_ns.map(|d| completion <= d),
+                            degraded: true,
+                            retries: q.retries,
+                        });
+                    } else {
+                        // Rung 1: re-queue with exponential backoff. The
+                        // gate is strictly in the future, so the event loop
+                        // always advances.
+                        let delay = self.cfg.backoff_base_ns << q.retries;
+                        let not_before = (fail_at + delay).max(now + 1);
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Fault,
+                                "retry",
+                                fail_at,
+                                vec![("id", q.req.id.into()), ("not_before", not_before.into())],
+                            );
+                        }
+                        queue.push(Queued {
+                            retries: q.retries + 1,
+                            not_before,
+                            req: q.req,
+                        });
+                    }
+                }
+                return;
+            }
+            Err(e) => unreachable!("sources validated at admission: {e}"),
+        };
+        worker.consecutive_faults = 0;
         let completion = ready + result.total_ns;
         worker.busy_ns += completion - now;
         worker.free_at = completion;
@@ -326,7 +510,8 @@ impl<'r> Service<'r> {
             started_ns: ready,
             completed_ns: completion,
         });
-        for (k, r) in batch.iter().enumerate() {
+        for (k, q) in batch.iter().enumerate() {
+            let r = &q.req;
             let reached = result.levels[k].iter().filter(|&&l| l != u32::MAX).count() as u32;
             records.push(RequestRecord {
                 id: r.id,
@@ -342,6 +527,8 @@ impl<'r> Service<'r> {
                 device: worker.id as u32,
                 reached,
                 deadline_met: r.deadline_ns.map(|d| completion <= d),
+                degraded: false,
+                retries: q.retries,
             });
         }
         if self.prof.is_enabled() {
@@ -360,16 +547,34 @@ impl<'r> Service<'r> {
         }
     }
 
-    /// Assembles the final report: makespan, throughput, per-device stats.
+    /// Simulated cost of a host-side [`reference::bfs`] answer: a fixed
+    /// software overhead plus memory-bound per-vertex and per-edge walks,
+    /// far off the GPU's rates. Deterministic by construction.
+    fn cpu_fallback_ns(csr: &Csr) -> Ns {
+        10_000 + 2 * csr.n() as Ns + 4 * csr.m() as Ns
+    }
+
+    /// Assembles the final report: makespan, throughput, availability,
+    /// per-device stats, and the fault/quarantine timelines.
     fn finish(
         &self,
         mut records: Vec<RequestRecord>,
         mut rejections: Vec<Rejection>,
         batches: Vec<BatchRecord>,
+        fault_events: Vec<FaultEvent>,
+        quarantines: Vec<QuarantineRecord>,
     ) -> ServeReport {
         records.sort_by_key(|r| r.id);
         rejections.sort_by_key(|r| r.id);
-        let makespan_ns = batches.iter().map(|b| b.completed_ns).max().unwrap_or(0);
+        // CPU-fallback completions have no batch record, so the makespan
+        // also covers per-request completion times (identical to the batch
+        // maximum on a fault-free run).
+        let makespan_ns = batches
+            .iter()
+            .map(|b| b.completed_ns)
+            .chain(records.iter().map(|r| r.arrival_ns + r.latency_ns))
+            .max()
+            .unwrap_or(0);
         let throughput_qps = if makespan_ns == 0 {
             0.0
         } else {
@@ -390,15 +595,26 @@ impl<'r> Service<'r> {
                 evictions: w.evictions,
             })
             .collect();
+        let degraded = records.iter().filter(|r| r.degraded).count() as u32;
+        let denom = records.len() + rejections.len();
+        let availability = if denom == 0 {
+            1.0
+        } else {
+            records.len() as f64 / denom as f64
+        };
         ServeReport {
             completed: records.len() as u32,
             rejected: rejections.len() as u32,
+            degraded,
+            availability,
             makespan_ns,
             throughput_qps,
             records,
             rejections,
             batches,
             devices,
+            fault_events,
+            quarantines,
         }
     }
 }
@@ -572,6 +788,123 @@ mod tests {
         let mut quiet = Service::new(&reg, ServeConfig::default());
         quiet.run(&trace);
         assert_eq!(quiet.profile().event_count(), 0);
+    }
+
+    #[test]
+    fn zero_timeout_is_rejected_at_its_arrival_tick() {
+        // Regression for the boundary bug: the old `>` comparison let a
+        // request whose wait exactly equalled its timeout slip through.
+        // The pinned semantics are inclusive: wait >= limit is too old,
+        // so a zero timeout can never dispatch — not even at the arrival
+        // tick, where the wait is exactly 0.
+        let reg = registry_with(&[("g", 1)]);
+        let mut zero = req(0, "g", 0, 0);
+        zero.timeout_ns = Some(0);
+        let report = Service::new(&reg, ServeConfig::default()).run(&[zero]);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejections.len(), 1);
+        assert_eq!(report.rejections[0].reason, RejectReason::TimedOut);
+        assert_eq!(report.rejections[0].at_ns, 0, "dropped at the arrival tick");
+    }
+
+    #[test]
+    fn one_shot_fault_is_absorbed_by_a_retry() {
+        use eta_fault::{EccFault, FaultPlan};
+        let reg = registry_with(&[("g", 1)]);
+        // One uncorrectable ECC hit early on device 0; it fires during the
+        // first batch, the retry runs on a now-clean device and succeeds.
+        let plan = FaultPlan {
+            ecc: vec![EccFault {
+                device: 0,
+                at_ns: 50_000,
+                addr_start: 0,
+                addr_words: u64::MAX,
+                double_bit: true,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = ServeConfig {
+            faults: plan,
+            ..ServeConfig::default()
+        };
+        let report = Service::new(&reg, cfg).run(&[req(0, "g", 0, 0)]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.degraded, 0, "device answered after the retry");
+        assert_eq!(report.fault_events.len(), 1);
+        assert_eq!(report.fault_events[0].kind, "ecc_double_bit");
+        assert!(report.quarantines.is_empty(), "one strike is not enough");
+        let r = &report.records[0];
+        assert_eq!(r.retries, 1);
+        assert!(!r.degraded);
+        let expect = reference::bfs(reg.get("g").unwrap(), 0);
+        let reached = expect.iter().filter(|&&l| l != u32::MAX).count() as u32;
+        assert_eq!(r.reached, reached, "retried answer is still correct");
+        assert_eq!(report.availability, 1.0);
+    }
+
+    #[test]
+    fn persistent_faults_quarantine_the_device_and_fall_back_to_cpu() {
+        use eta_fault::{FaultPlan, HangFault};
+        let reg = registry_with(&[("g", 1)]);
+        // A permanent hang window with a tiny budget: every launch on
+        // device 0 faults, so the ladder runs to its last rung.
+        let plan = FaultPlan {
+            hangs: vec![HangFault {
+                device: 0,
+                start_ns: 0,
+                end_ns: Ns::MAX,
+                budget_ns: 1_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = ServeConfig {
+            faults: plan,
+            ..ServeConfig::default()
+        };
+        let report = Service::new(&reg, cfg).run(&[req(0, "g", 0, 0)]);
+        // Attempts at retries 0, 1, 2 all hang; the third strike both
+        // quarantines the device and exhausts max_retries (2), so the CPU
+        // reference answers.
+        assert_eq!(report.completed, 1, "no request is lost to faults");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.availability, 1.0);
+        assert_eq!(report.fault_events.len(), 3);
+        assert!(report
+            .fault_events
+            .iter()
+            .all(|f| f.kind == "kernel_hang" && f.device == 0));
+        assert_eq!(report.quarantines.len(), 1, "third strike quarantines");
+        let q = &report.quarantines[0];
+        assert_eq!(q.device, 0);
+        assert!(q.until_ns > q.from_ns);
+        let r = &report.records[0];
+        assert!(r.degraded);
+        assert_eq!(r.retries, 2);
+        let expect = reference::bfs(reg.get("g").unwrap(), 0);
+        let reached = expect.iter().filter(|&&l| l != u32::MAX).count() as u32;
+        assert_eq!(r.reached, reached, "the CPU fallback answer is correct");
+        assert!(r.latency_ns > 0);
+        assert_eq!(report.makespan_ns, r.arrival_ns + r.latency_ns);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let reg = registry_with(&[("g", 1), ("h", 2)]);
+        let plan = eta_fault::FaultPlan::seeded(7, 1, 40_000_000);
+        assert!(!plan.is_empty());
+        let trace: Vec<Request> = (0..8)
+            .map(|i| req(i, if i % 2 == 0 { "g" } else { "h" }, i, (i as Ns) * 10_000))
+            .collect();
+        let cfg = ServeConfig {
+            faults: plan,
+            ..ServeConfig::default()
+        };
+        let a = Service::new(&reg, cfg.clone()).run(&trace);
+        let b = Service::new(&reg, cfg).run(&trace);
+        let json = |r: &ServeReport| serde_json::to_string(r).expect("report serializes");
+        assert_eq!(json(&a), json(&b), "same plan, same trace, same bytes");
+        assert_eq!(a.completed + a.rejected, 8, "every request is accounted");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::config::GpuConfig;
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::metrics::KernelMetrics;
 use crate::sanitizer::{Sanitizer, SanitizerReport};
+use eta_fault::{DeviceFault, FaultKind, FaultPlan};
 use eta_mem::cache::Cache;
 use eta_mem::pcie::PcieLink;
 use eta_mem::system::MemSystem;
@@ -89,6 +90,23 @@ impl Device {
     /// The sanitizer's findings so far; `None` when no sanitizer is attached.
     pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
         self.sanitizer.as_ref().map(|s| s.report())
+    }
+
+    /// Installs a fault plan for this device (identified as `device` in the
+    /// plan's entries). Injection happens inside [`Device::launch`] and the
+    /// memory system's demand-migration path; detected failures are
+    /// collected with [`Device::take_fault`]. Installing an empty plan is a
+    /// timing no-op.
+    pub fn install_faults(&mut self, plan: &FaultPlan, device: u32) {
+        self.mem.install_faults(plan, device);
+    }
+
+    /// Collects the earliest detected (and not yet collected) device fault.
+    /// Callers running kernels poll this after each launch; a `Some` means
+    /// the query on this device is dead and must be retried or degraded
+    /// (see eta-serve's recovery ladder).
+    pub fn take_fault(&mut self) -> Option<DeviceFault> {
+        self.mem.faults.take_pending()
     }
 
     /// Full transfer+compute timeline (PCIe spans + compute spans).
@@ -225,7 +243,71 @@ impl Device {
         // UM faults. `time_ns` stays pure compute (the paper's t_kernel); the
         // recorded span covers the stall, which is exactly the overlapped
         // region Fig. 4 plots.
-        let end_ns = (start_ns + metrics.time_ns).max(metrics.data_ready_ns);
+        let mut end_ns = (start_ns + metrics.time_ns).max(metrics.data_ready_ns);
+
+        // Fault injection (eta-fault): inert unless a plan is installed, so
+        // the default path stays byte-identical.
+        if self.mem.faults.active {
+            // Watchdog: a launch starting inside a hang window that exceeds
+            // its cycle budget is killed at start + budget.
+            if let Some(budget) = self.mem.faults.hang_budget(start_ns) {
+                if end_ns - start_ns > budget {
+                    end_ns = start_ns + budget;
+                    self.mem.faults.counters.hangs += 1;
+                    let device = self.mem.faults.device();
+                    self.mem.faults.set_pending(DeviceFault {
+                        kind: FaultKind::KernelHang,
+                        device,
+                        at_ns: end_ns,
+                    });
+                    self.mem.prof.instant(
+                        Track::Fault,
+                        "kernel_hang",
+                        end_ns,
+                        vec![
+                            ("kernel", kernel.name().into()),
+                            ("device", device.into()),
+                            ("budget_ns", budget.into()),
+                        ],
+                    );
+                }
+            }
+            // One-shot ECC events covered by the (possibly shortened) launch
+            // span fire now: single-bit corrects and continues, double-bit
+            // fails the launch.
+            for e in self.mem.faults.fire_ecc(start_ns, end_ns) {
+                let device = self.mem.faults.device();
+                if e.double_bit {
+                    self.mem.faults.set_pending(DeviceFault {
+                        kind: FaultKind::EccDoubleBit,
+                        device,
+                        at_ns: e.at_ns,
+                    });
+                }
+                self.mem.prof.instant(
+                    Track::Fault,
+                    "ecc_error",
+                    e.at_ns,
+                    vec![
+                        ("kernel", kernel.name().into()),
+                        ("device", device.into()),
+                        ("addr_start", e.addr_start.into()),
+                        ("addr_words", e.addr_words.into()),
+                        ("double_bit", e.double_bit.into()),
+                    ],
+                );
+                if let Some(san) = self.sanitizer.as_mut() {
+                    san.note_ecc(
+                        kernel.name(),
+                        e.addr_start,
+                        e.addr_words,
+                        e.double_bit,
+                        e.at_ns,
+                    );
+                }
+            }
+        }
+
         self.compute_timeline.push(Span {
             kind: SpanKind::Compute,
             start: start_ns,
@@ -539,6 +621,162 @@ mod tests {
         );
         assert!(quiet.mem.prof.is_empty());
         assert_eq!(quiet.mem.prof.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn hang_window_kills_a_long_launch_at_its_budget() {
+        use eta_fault::{FaultPlan, HangFault};
+        let mut dev = Device::new(GpuConfig::default_preset());
+        let n = 262_144u32;
+        let input = dev.mem.alloc_explicit(n as u64).unwrap();
+        let output = dev.mem.alloc_explicit(n as u64).unwrap();
+        let clean = dev.launch(&DoubleKernel { input, output, n }, grid(n, 256), 0);
+        assert!(clean.end_ns > 10, "kernel long enough to exceed the budget");
+        assert!(dev.take_fault().is_none(), "no plan: no faults");
+
+        let mut plan = FaultPlan::default();
+        plan.hangs.push(HangFault {
+            device: 0,
+            start_ns: 0,
+            end_ns: u64::MAX,
+            budget_ns: 10,
+        });
+        let mut faulty = Device::new(GpuConfig::default_preset());
+        faulty.install_faults(&plan, 0);
+        let i2 = faulty.mem.alloc_explicit(n as u64).unwrap();
+        let o2 = faulty.mem.alloc_explicit(n as u64).unwrap();
+        let r = faulty.launch(
+            &DoubleKernel {
+                input: i2,
+                output: o2,
+                n,
+            },
+            grid(n, 256),
+            0,
+        );
+        assert_eq!(r.end_ns, 10, "watchdog kill at start + budget");
+        let f = faulty.take_fault().expect("hang detected");
+        assert_eq!(f.kind, eta_fault::FaultKind::KernelHang);
+        assert_eq!(f.at_ns, 10);
+        assert_eq!(faulty.mem.faults.counters.hangs, 1);
+        assert!(faulty.take_fault().is_none(), "collected once");
+    }
+
+    #[test]
+    fn ecc_events_fire_once_inside_a_covering_launch() {
+        use eta_fault::{EccFault, FaultPlan};
+        let mut plan = FaultPlan::default();
+        plan.ecc.push(EccFault {
+            device: 0,
+            at_ns: 5,
+            addr_start: 0,
+            addr_words: 8,
+            double_bit: false,
+        });
+        plan.ecc.push(EccFault {
+            device: 0,
+            at_ns: 6,
+            addr_start: 64,
+            addr_words: 8,
+            double_bit: true,
+        });
+        let mut dev = Device::new(GpuConfig::default_preset().with_profiling());
+        dev.install_faults(&plan, 0);
+        let n = 65_536u32;
+        let input = dev.mem.alloc_explicit(n as u64).unwrap();
+        let output = dev.mem.alloc_explicit(n as u64).unwrap();
+        let r = dev.launch(&DoubleKernel { input, output, n }, grid(n, 256), 0);
+        assert!(r.end_ns >= 6, "launch span covers both events");
+        let f = dev.take_fault().expect("double-bit ECC fails the launch");
+        assert_eq!(f.kind, eta_fault::FaultKind::EccDoubleBit);
+        assert_eq!(f.at_ns, 6);
+        assert_eq!(dev.mem.faults.counters.ecc_corrected, 1);
+        assert_eq!(dev.mem.faults.counters.ecc_uncorrected, 1);
+        let ecc_events: Vec<_> = dev
+            .mem
+            .prof
+            .events()
+            .iter()
+            .filter(|e| e.track == eta_prof::Track::Fault && e.name == "ecc_error")
+            .collect();
+        assert_eq!(ecc_events.len(), 2, "one profiler instant per ECC event");
+        // A second launch must not re-fire the one-shot events.
+        let i2 = dev.mem.alloc_explicit(n as u64).unwrap();
+        let o2 = dev.mem.alloc_explicit(n as u64).unwrap();
+        dev.launch(
+            &DoubleKernel {
+                input: i2,
+                output: o2,
+                n,
+            },
+            grid(n, 256),
+            0,
+        );
+        assert!(dev.take_fault().is_none());
+        assert_eq!(dev.mem.faults.counters.ecc_uncorrected, 1);
+    }
+
+    #[test]
+    fn ecc_errors_surface_through_the_sanitizer() {
+        use crate::sanitizer::{FindingKind, SanitizerMode, Severity};
+        use eta_fault::{EccFault, FaultPlan};
+        let mut plan = FaultPlan::default();
+        plan.ecc.push(EccFault {
+            device: 0,
+            at_ns: 0,
+            addr_start: 128,
+            addr_words: 4,
+            double_bit: true,
+        });
+        plan.ecc.push(EccFault {
+            device: 0,
+            at_ns: 1,
+            addr_start: 256,
+            addr_words: 4,
+            double_bit: false,
+        });
+        let mut cfg = GpuConfig::default_preset();
+        cfg.sanitizer = SanitizerMode::Memcheck;
+        let mut dev = Device::new(cfg);
+        dev.install_faults(&plan, 0);
+        let n = 4096u32;
+        let input = dev.mem.alloc_explicit(n as u64).unwrap();
+        let output = dev.mem.alloc_explicit(n as u64).unwrap();
+        dev.mem.host_write(input, 0, &vec![1u32; n as usize]);
+        dev.launch(&DoubleKernel { input, output, n }, grid(n, 256), 0);
+        let rep = dev.sanitizer_report().expect("sanitizer attached");
+        let errors: Vec<_> = rep
+            .errors
+            .iter()
+            .filter(|f| f.kind == FindingKind::EccError)
+            .collect();
+        assert_eq!(errors.len(), 1, "double-bit is an error");
+        assert_eq!(errors[0].severity, Severity::Error);
+        assert_eq!(errors[0].addr, 128);
+        assert!(errors[0].detail.contains("double-bit"));
+        let warnings: Vec<_> = rep
+            .warnings
+            .iter()
+            .filter(|f| f.kind == FindingKind::EccError)
+            .collect();
+        assert_eq!(warnings.len(), 1, "single-bit is a corrected warning");
+        assert!(!rep.is_clean());
+    }
+
+    #[test]
+    fn empty_plan_install_keeps_launch_timing_identical() {
+        let run = |install: bool| {
+            let mut dev = Device::new(GpuConfig::default_preset());
+            if install {
+                dev.install_faults(&eta_fault::FaultPlan::default(), 0);
+            }
+            let n = 65_536u32;
+            let input = dev.mem.alloc_explicit(n as u64).unwrap();
+            let output = dev.mem.alloc_explicit(n as u64).unwrap();
+            let r = dev.launch(&DoubleKernel { input, output, n }, grid(n, 256), 0);
+            (r.end_ns, r.metrics.cycles)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

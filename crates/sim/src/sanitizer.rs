@@ -113,6 +113,9 @@ pub enum FindingKind {
     DegenerateBurst,
     /// Estimated shared-memory bank serialization above threshold (lint).
     SharedBankConflicts,
+    /// An injected ECC error detected during a launch (eta-fault): corrected
+    /// single-bit flips are warnings, uncorrectable double-bit flips errors.
+    EccError,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -302,6 +305,10 @@ fn track<K: Eq + std::hash::Hash>(
 /// scratch, not a [`MemSystem`] region).
 const SHARED_REGION: u64 = u64::MAX;
 
+/// Region id stand-in for ECC findings (an ECC event hits a physical word
+/// range, not a specific slice).
+const ECC_REGION: u64 = u64::MAX - 1;
+
 /// The streaming analysis sink. Owned by [`crate::Device`]; a mutable
 /// reference is threaded through every [`crate::warp::WarpCtx`].
 pub struct Sanitizer {
@@ -397,6 +404,44 @@ impl Sanitizer {
             slice_len,
             occurrences: 1,
             detail,
+        });
+    }
+
+    // ---- hooks called from Device ----------------------------------------
+
+    /// Records an injected ECC event (eta-fault) detected during `kernel`'s
+    /// launch span. ECC detection is hardware-side, so it reports regardless
+    /// of which analyses are enabled; each event is its own finding (no
+    /// site folding — every ECC hit is a distinct physical event).
+    pub fn note_ecc(
+        &mut self,
+        kernel: &str,
+        addr_start: u64,
+        addr_words: u64,
+        double_bit: bool,
+        at_ns: u64,
+    ) {
+        let (severity, what) = if double_bit {
+            (Severity::Error, "uncorrectable double-bit")
+        } else {
+            (Severity::Warning, "corrected single-bit")
+        };
+        self.findings.push(Finding {
+            kind: FindingKind::EccError,
+            severity,
+            kernel: kernel.to_string(),
+            block: 0,
+            warp: 0,
+            lane: 0,
+            region: ECC_REGION,
+            addr: addr_start,
+            index: 0,
+            slice_len: addr_words,
+            occurrences: 1,
+            detail: format!(
+                "{what} ECC error in words [{addr_start}, {}) at {at_ns} ns",
+                addr_start + addr_words
+            ),
         });
     }
 
