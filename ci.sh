@@ -39,4 +39,11 @@ test -s "$PROFILE_OUT/faults.txt" && test -s "$PROFILE_OUT/faults.json"
 grep -q "availability" "$PROFILE_OUT/faults.txt"
 grep -q "quarantine" "$PROFILE_OUT/faults.txt"
 
+echo "==> chaos drill smoke run (quick suite, twice, byte-identical)"
+cargo run --release -p eta-bench --bin report -- chaos --quick --out "$PROFILE_OUT" >/dev/null
+grep -q "0 lost" "$PROFILE_OUT/chaos.txt"
+mv "$PROFILE_OUT/chaos.json" "$PROFILE_OUT/chaos.first.json"
+cargo run --release -p eta-bench --bin report -- chaos --quick --out "$PROFILE_OUT" >/dev/null
+cmp "$PROFILE_OUT/chaos.first.json" "$PROFILE_OUT/chaos.json"
+
 echo "ci: all gates passed"

@@ -115,6 +115,11 @@ impl Framework for EtaFramework {
             etagraph::QueryError::DeviceFault(_) => {
                 FrameworkError::Unsupported("device fault injected outside a fault run")
             }
+            // Likewise: baselines run without checkpoint hooks, so a
+            // checkpoint error can only mean misconfiguration upstream.
+            etagraph::QueryError::Checkpoint(_) => {
+                FrameworkError::Unsupported("checkpoint error outside a resumable run")
+            }
         })
     }
 }

@@ -16,9 +16,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize", "serve", "profile", "faults",
+    "extras", "sanitize", "serve", "profile", "faults", "chaos",
 ];
 
 fn main() {
@@ -95,6 +95,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         "serve" => eta_bench::serve_report::serve(suite),
         "profile" => eta_bench::profile_report::profile(suite),
         "faults" => eta_bench::faults_report::faults(suite),
+        "chaos" => eta_bench::chaos::chaos(suite),
         _ => unreachable!("validated in main"),
     }
 }

@@ -35,6 +35,10 @@ fn report_json(label: &str, report: &ServeReport) -> Value {
         "fault_events": report.fault_events,
         "quarantines": report.quarantines,
         "retries_total": report.records.iter().map(|r| r.retries as u64).sum::<u64>(),
+        "checkpoints": report.checkpoints,
+        "resumes": report.resumes,
+        "migrations": report.migrations,
+        "work_saved_iterations": report.work_saved_iterations,
     })
 }
 
@@ -79,6 +83,18 @@ pub fn faults(suite: Suite) -> Artifact {
         &registry,
         ServeConfig {
             faults: plan.clone(),
+            ..base.clone()
+        },
+    )
+    .run(&trace);
+    // Same plan, but with rung 0 of the recovery ladder armed: snapshot
+    // every 2 iterations and resume faulted batches from the last snapshot
+    // instead of restarting them from scratch.
+    let ckpt = Service::new(
+        &registry,
+        ServeConfig {
+            faults: plan.clone(),
+            checkpoint_interval: 2,
             ..base
         },
     )
@@ -108,11 +124,19 @@ pub fn faults(suite: Suite) -> Artifact {
             "p50 (ms)",
             "p99 (ms)",
         ],
-        &[mode_row("clean", &clean), mode_row("faulted", &faulted)],
+        &[
+            mode_row("clean", &clean),
+            mode_row("faulted", &faulted),
+            mode_row("faulted+ckpt", &ckpt),
+        ],
     );
     body.push_str(&format!(
         "\nfault plan (seed {}): {} ecc, {} um, {} hang, {} pcie windows\n",
         plan.seed, plan_counts.0, plan_counts.1, plan_counts.2, plan_counts.3
+    ));
+    body.push_str(&format!(
+        "faulted+ckpt (interval 2): {} checkpoints, {} resumes ({} migrated), {} iterations of work saved\n",
+        ckpt.checkpoints, ckpt.resumes, ckpt.migrations, ckpt.work_saved_iterations
     ));
     if faulted.fault_events.is_empty() {
         body.push_str("no injected event intersected a launch\n");
@@ -150,6 +174,7 @@ pub fn faults(suite: Suite) -> Artifact {
             "plan": plan,
             "clean": report_json("clean", &clean),
             "faulted": report_json("faulted", &faulted),
+            "faulted_ckpt": report_json("faulted+ckpt", &ckpt),
         }),
     }
 }
@@ -169,6 +194,11 @@ mod tests {
         let total = |r: &Value| r["completed"].as_u64().unwrap() + r["rejected"].as_u64().unwrap();
         assert_eq!(total(&a.json["clean"]), 80);
         assert_eq!(total(&a.json["faulted"]), 80);
+        assert_eq!(total(&a.json["faulted_ckpt"]), 80);
         assert!(a.json["clean"]["availability"].as_f64().unwrap() > 0.0);
+        // The clean run and the no-checkpoint faulted run report no
+        // checkpoint traffic at all.
+        assert_eq!(a.json["clean"]["checkpoints"], 0);
+        assert_eq!(a.json["faulted"]["resumes"], 0);
     }
 }

@@ -8,6 +8,7 @@
 //! The mapping from paper artifact to generator function is in DESIGN.md's
 //! per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
 
+pub mod chaos;
 pub mod extras;
 pub mod faults_report;
 pub mod figs;

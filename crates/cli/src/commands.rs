@@ -25,6 +25,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
         Some("info") => info(&args),
         Some("run") => run(&args),
         Some("serve") => serve(&args),
+        Some("chaos") => chaos(&args),
         Some("datasets") => datasets(&args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n{}", usage()))),
         None => Err(ArgError(usage())),
@@ -47,8 +48,9 @@ pub fn usage() -> String {
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
      \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--profile FILE] [--sanitize]\n\
-     \x20          [--faults PLAN.json] [--json]\n\
+     \x20          [--faults PLAN.json] [--ckpt-interval I] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
+     etagraph chaos [--full] [--out DIR] [--json]\n\
      etagraph datasets [--json]"
         .to_string()
 }
@@ -563,6 +565,7 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
             eta_serve::Policy::PriorityDeadline
         },
         faults: fault_plan_from(args)?.unwrap_or_default(),
+        checkpoint_interval: args.get_parse("ckpt-interval", 0)?,
         ..eta_serve::ServeConfig::default()
     };
     if cfg.devices == 0 {
@@ -641,6 +644,15 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
             );
         }
     }
+    // Checkpoint summary, only when rung 0 actually did something (keeps
+    // non-checkpointed output byte-identical to older builds).
+    if report.checkpoints > 0 || report.resumes > 0 {
+        let _ = writeln!(
+            text,
+            "checkpoints: {} snapshot(s), {} resume(s) ({} migrated), {} iteration(s) of work saved",
+            report.checkpoints, report.resumes, report.migrations, report.work_saved_iterations
+        );
+    }
     for d in &report.devices {
         let _ = writeln!(
             text,
@@ -694,6 +706,45 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
     }
     attach_profile(&mut out, &service.profile(), args)?;
     Ok(out)
+}
+
+/// Runs the deterministic chaos-soak drill from `eta-bench`: seeded fault
+/// plans crossed with checkpoint intervals, every completed answer checked
+/// against the CPU reference. `--full` runs the large sweep; `--out DIR`
+/// also writes the `chaos.txt` / `chaos.json` artifact pair.
+fn chaos(args: &Args) -> Result<Output, ArgError> {
+    let suite = if args.switch("full") {
+        eta_bench::Suite::Full
+    } else {
+        eta_bench::Suite::Quick
+    };
+    let out_dir = args.get("out").map(String::from);
+    args.ensure_consumed()?;
+
+    let a = eta_bench::chaos::chaos(suite);
+    let lost = a.json["verification"]["lost"].as_u64().unwrap_or(u64::MAX);
+    let wrong = a.json["verification"]["wrong"].as_u64().unwrap_or(u64::MAX);
+    let mut text = format!("{}\n\n{}", a.title, a.text);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("creating {dir}: {e}")))?;
+        let txt = format!("{dir}/chaos.txt");
+        std::fs::write(&txt, format!("{}\n\n{}", a.title, a.text))
+            .map_err(|e| ArgError(format!("writing {txt}: {e}")))?;
+        let jsn = format!("{dir}/chaos.json");
+        std::fs::write(
+            &jsn,
+            serde_json::to_string_pretty(&a.json).unwrap_or_default(),
+        )
+        .map_err(|e| ArgError(format!("writing {jsn}: {e}")))?;
+        let _ = writeln!(text, "\nwrote {txt} and {jsn}");
+    }
+    if lost > 0 || wrong > 0 {
+        return Err(ArgError(format!(
+            "chaos drill FAILED: {lost} lost, {wrong} wrong — minimal reproducers in the json artifact"
+        )));
+    }
+    let _ = writeln!(text, "\nchaos drill passed: 0 lost, 0 wrong");
+    Ok(Output { json: a.json, text })
 }
 
 fn datasets(_args: &Args) -> Result<Output, ArgError> {
@@ -1091,6 +1142,64 @@ mod tests {
         for p in [f, plan, empty, bad] {
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn ckpt_interval_flag_arms_rung_zero_of_the_ladder() {
+        let f = tmpfile("ckpt.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 10 --edges 8000 --out {f}"
+        )))
+        .unwrap();
+        // A permanent 50 µs hang budget on the single device: long enough
+        // that early small-frontier kernels pass (snapshots get taken),
+        // short enough to kill the peak-frontier iteration.
+        let plan = tmpfile("ckpt-plan.json");
+        std::fs::write(
+            &plan,
+            r#"{"seed": 0, "ecc": [], "um": [],
+                "hangs": [{"device": 0, "start_ns": 0, "end_ns": 99999999999, "budget_ns": 50000}],
+                "pcie": []}"#,
+        )
+        .unwrap();
+        let out = dispatch(argv(&format!(
+            "serve --graph {f} --requests 6 --rate 5000 --faults {plan} --ckpt-interval 2"
+        )))
+        .unwrap();
+        let report = &out.json["report"];
+        assert_eq!(
+            report["completed"].as_u64().unwrap() + report["rejected"].as_u64().unwrap(),
+            6
+        );
+        assert!(report["checkpoints"].as_u64().unwrap() > 0);
+        assert!(out.text.contains("checkpoints:"), "{}", out.text);
+        // Without the flag, the report carries no checkpoint traffic and
+        // the summary line stays absent.
+        let off = dispatch(argv(&format!(
+            "serve --graph {f} --requests 6 --rate 5000 --faults {plan}"
+        )))
+        .unwrap();
+        assert_eq!(off.json["report"]["checkpoints"], 0u32);
+        assert!(!off.text.contains("checkpoints:"), "{}", off.text);
+        for p in [f, plan] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn chaos_subcommand_runs_the_drill_and_writes_artifacts() {
+        let dir = tmpfile("chaos-out");
+        let out = dispatch(argv(&format!("chaos --out {dir}"))).unwrap();
+        assert!(out.text.contains("chaos drill passed"), "{}", out.text);
+        assert_eq!(out.json["verification"]["lost"], 0);
+        assert_eq!(out.json["verification"]["wrong"], 0);
+        let body = std::fs::read_to_string(format!("{dir}/chaos.json")).unwrap();
+        assert!(body.contains("\"curve\""));
+        assert!(std::path::Path::new(&format!("{dir}/chaos.txt")).exists());
+        std::fs::remove_dir_all(&dir).ok();
+        // Typo'd flags are named here too.
+        let err = dispatch(argv("chaos --fulll")).unwrap_err();
+        assert!(err.0.contains("--fulll"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::error::{check_source, QueryError};
 use crate::kernels::{PullBfsKernel, TraversalKernel};
 use crate::result::{IterationStats, RunResult};
 use crate::udc::{ActToVirtKernel, ExpandFromTableKernel, ShadowTable};
+use eta_ckpt::{Checkpoint, CkptCtl, CkptError, CkptState};
 use eta_graph::Csr;
 use eta_mem::system::{DSlice, MemError};
 use eta_prof::Track;
@@ -228,6 +229,37 @@ pub fn run_query(
     query_start: eta_mem::Ns,
     ready_ns: eta_mem::Ns,
 ) -> Result<RunResult, QueryError> {
+    run_query_ckpt(
+        dev,
+        res,
+        csr,
+        source,
+        alg,
+        cfg,
+        query_start,
+        ready_ns,
+        CkptCtl::off(),
+    )
+}
+
+/// [`run_query`] with checkpoint/resume control (see eta-ckpt). With
+/// `CkptCtl::off()` this is byte-identical to the plain path; with a due
+/// sink it snapshots labels + tags + the frontier in queue order at
+/// iteration boundaries (charged PCIe d2h traffic); with a resume snapshot
+/// it restores that state instead of initializing, continuing the
+/// uninterrupted run's remaining iterations byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_ckpt(
+    dev: &mut Device,
+    res: &QueryResources,
+    csr: &Csr,
+    source: u32,
+    alg: Algorithm,
+    cfg: &EtaConfig,
+    query_start: eta_mem::Ns,
+    ready_ns: eta_mem::Ns,
+    mut ckpt: CkptCtl<'_>,
+) -> Result<RunResult, QueryError> {
     assert!(
         !alg.needs_weights() || csr.is_weighted(),
         "{} needs an edge-weighted graph",
@@ -257,34 +289,75 @@ pub fn run_query(
         None
     };
 
-    // "Init label and transfer to GPU": one |V|-word copy each for labels
-    // and tags. Connected components is all-active: every vertex seeds the
-    // first frontier carrying its own ID.
-    let init: Vec<u32> = if alg.all_active() {
-        (0..n).collect()
+    let (start_iter, start_len) = if let Some(ck) = ckpt.resume {
+        // Resume: restore the snapshot instead of initializing. A stale or
+        // mismatched snapshot is a typed error the serving layer downgrades
+        // to restart-from-scratch.
+        ck.validate(ckpt.graph_digest, n)?;
+        let (ck_source, ck_labels, ck_tags, ck_frontier) = match &ck.state {
+            CkptState::SingleSource {
+                source: s,
+                labels,
+                tags,
+                frontier,
+            } => (*s, labels, tags, frontier),
+            _ => return Err(CkptError::StateShape.into()),
+        };
+        if ck_source != source || ck_labels.len() != n as usize || ck_tags.len() != n as usize {
+            return Err(CkptError::StateShape.into());
+        }
+        now = dev.mem.copy_h2d(labels, 0, ck_labels, now);
+        now = dev.mem.copy_h2d(tags, 0, ck_tags, now);
+        act.host_seed(dev, ck_frontier);
+        now = dev
+            .mem
+            .copy_h2d(act.count, 0, &[ck_frontier.len() as u32], now);
+        dg.prefetch(dev, now);
+        if dev.mem.prof.is_enabled() {
+            dev.mem.prof.record(
+                Track::Ckpt,
+                "resume",
+                query_start.max(ready_ns),
+                now,
+                vec![
+                    ("iteration", ck.iteration.into()),
+                    ("words", ck.payload_words().into()),
+                    ("kind", ck.state.kind().into()),
+                ],
+            );
+        }
+        (ck.iteration, ck_frontier.len() as u32)
     } else {
-        let mut v = vec![alg.init_label(); n as usize];
-        v[source as usize] = alg.source_label();
-        v
-    };
-    now = dev.mem.copy_h2d(labels, 0, &init, now);
-    now = dev.mem.copy_h2d(tags, 0, &vec![0u32; n as usize], now);
-    let seeds: Vec<u32> = if alg.all_active() {
-        (0..n).collect()
-    } else {
-        vec![source]
-    };
-    act.host_seed(dev, &seeds);
-    now = dev.mem.copy_h2d(act.count, 0, &[seeds.len() as u32], now);
+        // "Init label and transfer to GPU": one |V|-word copy each for labels
+        // and tags. Connected components is all-active: every vertex seeds the
+        // first frontier carrying its own ID.
+        let init: Vec<u32> = if alg.all_active() {
+            (0..n).collect()
+        } else {
+            let mut v = vec![alg.init_label(); n as usize];
+            v[source as usize] = alg.source_label();
+            v
+        };
+        now = dev.mem.copy_h2d(labels, 0, &init, now);
+        now = dev.mem.copy_h2d(tags, 0, &vec![0u32; n as usize], now);
+        let seeds: Vec<u32> = if alg.all_active() {
+            (0..n).collect()
+        } else {
+            vec![source]
+        };
+        act.host_seed(dev, &seeds);
+        now = dev.mem.copy_h2d(act.count, 0, &[seeds.len() as u32], now);
 
-    // Procedure 1: `cudaMemPrefetchAsync(CSR)` after the label transfer.
-    // Idempotent on warm sessions: already-resident pages move nothing.
-    dg.prefetch(dev, now);
+        // Procedure 1: `cudaMemPrefetchAsync(CSR)` after the label transfer.
+        // Idempotent on warm sessions: already-resident pages move nothing.
+        dg.prefetch(dev, now);
+        (0, if alg.all_active() { n } else { 1 })
+    };
 
     // --- iterate until the active set drains --------------------------------
     let mut queues = (*act, *next);
-    let mut act_len = if alg.all_active() { n } else { 1 };
-    let mut iter = 0u32;
+    let mut act_len = start_len;
+    let mut iter = start_iter;
     let mut per_iteration = Vec::new();
     let mut metrics = KernelMetrics::default();
     let mut kernel_ns = 0u64;
@@ -445,6 +518,52 @@ pub fn run_query(
         let (len, t) = queues.0.read_count(dev, now);
         act_len = len;
         now = t;
+
+        // Iteration boundary: labels + tags + the frontier in queue order
+        // are the complete per-query state (the virtual queues are rebuilt
+        // from the frontier every iteration).
+        if act_len > 0 {
+            if let Some(sink) = ckpt.sink.as_deref_mut() {
+                if sink.policy.due(iter) {
+                    let ck_start = now;
+                    now = dev.mem.copy_d2h(labels, n as u64, now);
+                    now = dev.mem.copy_d2h(tags, n as u64, now);
+                    now = dev.mem.copy_d2h(queues.0.items, act_len as u64, now);
+                    if let Some(f) = dev.take_fault() {
+                        return Err(f.into());
+                    }
+                    let ck = Checkpoint {
+                        graph_digest: ckpt.graph_digest,
+                        n,
+                        iteration: iter,
+                        taken_at_ns: now,
+                        state: CkptState::SingleSource {
+                            source,
+                            labels: dev.mem.host_read(labels, 0, n as u64).to_vec(),
+                            tags: dev.mem.host_read(tags, 0, n as u64).to_vec(),
+                            frontier: dev
+                                .mem
+                                .host_read(queues.0.items, 0, act_len as u64)
+                                .to_vec(),
+                        },
+                    };
+                    if dev.mem.prof.is_enabled() {
+                        dev.mem.prof.record(
+                            Track::Ckpt,
+                            "checkpoint",
+                            ck_start,
+                            now,
+                            vec![
+                                ("iteration", iter.into()),
+                                ("words", ck.payload_words().into()),
+                                ("frontier", act_len.into()),
+                            ],
+                        );
+                    }
+                    sink.store(ck);
+                }
+            }
+        }
     }
 
     // --- results back to the host -------------------------------------------
@@ -520,6 +639,51 @@ mod tests {
         let mut dev = device();
         let r = run(&mut dev, &g, 3, Algorithm::Bfs, &EtaConfig::without_smp()).unwrap();
         assert_eq!(r.labels, expect);
+    }
+
+    #[test]
+    fn resumed_query_matches_uninterrupted_run() {
+        let g = test_graph();
+        let digest = g.digest();
+        let cfg = EtaConfig::paper();
+        let expect = reference::sssp(&g, 0);
+
+        let mut dev = device();
+        let (res, ready) = prepare(&mut dev, &g, &cfg, false).unwrap();
+        let mut sink = eta_ckpt::CkptSink::every(2);
+        let r = run_query_ckpt(
+            &mut dev,
+            &res,
+            &g,
+            0,
+            Algorithm::Sssp,
+            &cfg,
+            0,
+            ready,
+            eta_ckpt::CkptCtl::with_sink(&mut sink, digest),
+        )
+        .unwrap();
+        assert_eq!(r.labels, expect, "checkpointing is result-inert");
+        let ck = sink.take().unwrap();
+        assert!(ck.iteration >= 2);
+
+        let mut dev2 = device();
+        let (res2, ready2) = prepare(&mut dev2, &g, &cfg, false).unwrap();
+        let mut sink2 = eta_ckpt::CkptSink::default();
+        let r2 = run_query_ckpt(
+            &mut dev2,
+            &res2,
+            &g,
+            0,
+            Algorithm::Sssp,
+            &cfg,
+            0,
+            ready2,
+            eta_ckpt::CkptCtl::resuming(&mut sink2, &ck, digest),
+        )
+        .unwrap();
+        assert_eq!(r2.labels, expect, "resume is byte-identical");
+        assert_eq!(r2.iterations, r.iterations);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! layer that admits untrusted request streams needs them as values it can
 //! turn into per-request rejections instead of process aborts.
 
+use eta_ckpt::CkptError;
 use eta_fault::DeviceFault;
 use eta_mem::system::MemError;
 
@@ -21,6 +22,10 @@ pub enum QueryError {
     /// retryable: the serving layer's recovery ladder re-queues, quarantines
     /// the device, and falls back to the CPU reference as a last resort.
     DeviceFault(DeviceFault),
+    /// A checkpoint could not be resumed (graph epoch or shape mismatch —
+    /// see eta-ckpt). The serving layer treats this as "no usable
+    /// checkpoint" and falls back to restart-from-scratch.
+    Checkpoint(CkptError),
 }
 
 impl std::fmt::Display for QueryError {
@@ -32,6 +37,7 @@ impl std::fmt::Display for QueryError {
             ),
             QueryError::Mem(e) => write!(f, "{e}"),
             QueryError::DeviceFault(fault) => write!(f, "{fault}"),
+            QueryError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,6 +53,12 @@ impl From<MemError> for QueryError {
 impl From<DeviceFault> for QueryError {
     fn from(f: DeviceFault) -> Self {
         QueryError::DeviceFault(f)
+    }
+}
+
+impl From<CkptError> for QueryError {
+    fn from(e: CkptError) -> Self {
+        QueryError::Checkpoint(e)
     }
 }
 
@@ -91,6 +103,16 @@ mod tests {
             "device 1 fault kernel_hang at 42 ns",
             "typed fault keeps its provenance through the error"
         );
+    }
+
+    #[test]
+    fn checkpoint_errors_convert_and_format() {
+        let e: QueryError = CkptError::VertexCount {
+            expected: 4,
+            actual: 5,
+        }
+        .into();
+        assert!(e.to_string().contains("vertex count mismatch"));
     }
 
     #[test]

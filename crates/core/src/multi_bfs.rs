@@ -17,9 +17,11 @@ use crate::config::EtaConfig;
 use crate::device_graph::DeviceGraph;
 use crate::error::{check_source, QueryError};
 use crate::udc::ActToVirtKernel;
+use eta_ckpt::{Checkpoint, CkptCtl, CkptError, CkptState};
 use eta_graph::Csr;
 use eta_mem::system::{DSlice, MemError};
 use eta_mem::Ns;
+use eta_prof::Track;
 use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 
 /// Maximum concurrent sources per batch (one bit per source in a word).
@@ -275,6 +277,27 @@ pub fn run_on(
     cfg: &EtaConfig,
     start: Ns,
 ) -> Result<MultiBfsResult, QueryError> {
+    run_on_ckpt(dev, dg, res, sources, cfg, start, CkptCtl::off())
+}
+
+/// [`run_on`] with checkpoint/resume control. With `CkptCtl::off()` this is
+/// byte-identical to the plain path. With a sink whose policy is due, the
+/// batch state (reach masks, levels, frontier in queue order) is copied
+/// back to the host at iteration boundaries — charged PCIe traffic on the
+/// simulated clock, visible on the profiler's checkpoint track. With a
+/// resume snapshot, initialization is replaced by restoring that state, so
+/// the continued run replays the uninterrupted run's remaining iterations
+/// byte-for-byte (the frontier is restored in queue order, which pins the
+/// propagation order and therefore every atomic outcome).
+pub fn run_on_ckpt(
+    dev: &mut Device,
+    dg: &DeviceGraph,
+    res: &MultiBfsResources,
+    sources: &[u32],
+    cfg: &EtaConfig,
+    start: Ns,
+    mut ckpt: CkptCtl<'_>,
+) -> Result<MultiBfsResult, QueryError> {
     assert!(
         !sources.is_empty() && sources.len() <= MAX_BATCH,
         "1..={MAX_BATCH} sources per batch"
@@ -296,33 +319,82 @@ pub fn run_on(
     let full = res.full;
     let partial = res.partial;
 
-    // Initial state: each source carries its own bit at level 0. Sources
-    // may repeat or collide on a vertex; bits just merge.
-    let mut fresh_init = vec![0u32; n as usize];
-    let mut level_init = vec![u32::MAX; n as usize * b];
-    let mut seed_vertices: Vec<u32> = Vec::new();
-    for (s, &v) in sources.iter().enumerate() {
-        fresh_init[v as usize] |= 1 << s;
-        level_init[s * n as usize + v as usize] = 0;
-        if !seed_vertices.contains(&v) {
-            seed_vertices.push(v);
+    let (start_iter, start_len) = if let Some(ck) = ckpt.resume {
+        // Resume: restore the snapshot instead of initializing. Validation
+        // is a typed error, not an assert — the serving layer downgrades a
+        // stale snapshot to restart-from-scratch.
+        ck.validate(ckpt.graph_digest, n)?;
+        let (ck_sources, ck_fresh, ck_joint, ck_levels, ck_frontier) = match &ck.state {
+            CkptState::MultiBfs {
+                sources: s,
+                fresh,
+                joint,
+                levels,
+                frontier,
+            } => (s, fresh, joint, levels, frontier),
+            _ => return Err(CkptError::StateShape.into()),
+        };
+        if ck_sources != sources
+            || ck_fresh.len() != n as usize
+            || ck_levels.len() != n as usize * b
+        {
+            return Err(CkptError::StateShape.into());
         }
-    }
-    now = dev.mem.copy_h2d(fresh, 0, &fresh_init, now);
-    now = dev.mem.copy_h2d(joint, 0, &fresh_init, now);
-    now = dev
-        .mem
-        .copy_h2d(next_fresh, 0, &vec![0u32; n as usize], now);
-    now = dev.mem.copy_h2d(levels, 0, &level_init, now);
-    act.host_seed(dev, &seed_vertices);
-    now = dev
-        .mem
-        .copy_h2d(act.count, 0, &[seed_vertices.len() as u32], now);
-    dg.prefetch(dev, now);
+        now = dev.mem.copy_h2d(fresh, 0, ck_fresh, now);
+        now = dev.mem.copy_h2d(joint, 0, ck_joint, now);
+        now = dev
+            .mem
+            .copy_h2d(next_fresh, 0, &vec![0u32; n as usize], now);
+        now = dev.mem.copy_h2d(levels, 0, ck_levels, now);
+        act.host_seed(dev, ck_frontier);
+        now = dev
+            .mem
+            .copy_h2d(act.count, 0, &[ck_frontier.len() as u32], now);
+        dg.prefetch(dev, now);
+        if dev.mem.prof.is_enabled() {
+            dev.mem.prof.record(
+                Track::Ckpt,
+                "resume",
+                start,
+                now,
+                vec![
+                    ("iteration", ck.iteration.into()),
+                    ("words", ck.payload_words().into()),
+                    ("kind", ck.state.kind().into()),
+                ],
+            );
+        }
+        (ck.iteration, ck_frontier.len() as u32)
+    } else {
+        // Initial state: each source carries its own bit at level 0. Sources
+        // may repeat or collide on a vertex; bits just merge.
+        let mut fresh_init = vec![0u32; n as usize];
+        let mut level_init = vec![u32::MAX; n as usize * b];
+        let mut seed_vertices: Vec<u32> = Vec::new();
+        for (s, &v) in sources.iter().enumerate() {
+            fresh_init[v as usize] |= 1 << s;
+            level_init[s * n as usize + v as usize] = 0;
+            if !seed_vertices.contains(&v) {
+                seed_vertices.push(v);
+            }
+        }
+        now = dev.mem.copy_h2d(fresh, 0, &fresh_init, now);
+        now = dev.mem.copy_h2d(joint, 0, &fresh_init, now);
+        now = dev
+            .mem
+            .copy_h2d(next_fresh, 0, &vec![0u32; n as usize], now);
+        now = dev.mem.copy_h2d(levels, 0, &level_init, now);
+        act.host_seed(dev, &seed_vertices);
+        now = dev
+            .mem
+            .copy_h2d(act.count, 0, &[seed_vertices.len() as u32], now);
+        dg.prefetch(dev, now);
+        (0, seed_vertices.len() as u32)
+    };
 
     let mut queues = (act, next);
-    let mut act_len = seed_vertices.len() as u32;
-    let mut iter = 0u32;
+    let mut act_len = start_len;
+    let mut iter = start_iter;
     let mut metrics = KernelMetrics::default();
     let mut kernel_ns = 0u64;
 
@@ -391,6 +463,55 @@ pub fn run_on(
         }
         queues = (queues.1, queues.0);
         act_len = len;
+
+        // Iteration boundary: SwapFresh zeroed next_fresh for exactly the
+        // vertices that were enqueued (each was pushed once, on its first
+        // grower), so next_fresh is globally zero again and fresh + joint +
+        // levels + the frontier *in queue order* are the complete state.
+        if act_len > 0 {
+            if let Some(sink) = ckpt.sink.as_deref_mut() {
+                if sink.policy.due(iter) {
+                    let ck_start = now;
+                    now = dev.mem.copy_d2h(fresh, n as u64, now);
+                    now = dev.mem.copy_d2h(joint, n as u64, now);
+                    now = dev.mem.copy_d2h(levels, n as u64 * b as u64, now);
+                    now = dev.mem.copy_d2h(queues.0.items, act_len as u64, now);
+                    if let Some(f) = dev.take_fault() {
+                        return Err(f.into());
+                    }
+                    let ck = Checkpoint {
+                        graph_digest: ckpt.graph_digest,
+                        n,
+                        iteration: iter,
+                        taken_at_ns: now,
+                        state: CkptState::MultiBfs {
+                            sources: sources.to_vec(),
+                            fresh: dev.mem.host_read(fresh, 0, n as u64).to_vec(),
+                            joint: dev.mem.host_read(joint, 0, n as u64).to_vec(),
+                            levels: dev.mem.host_read(levels, 0, n as u64 * b as u64).to_vec(),
+                            frontier: dev
+                                .mem
+                                .host_read(queues.0.items, 0, act_len as u64)
+                                .to_vec(),
+                        },
+                    };
+                    if dev.mem.prof.is_enabled() {
+                        dev.mem.prof.record(
+                            Track::Ckpt,
+                            "checkpoint",
+                            ck_start,
+                            now,
+                            vec![
+                                ("iteration", iter.into()),
+                                ("words", ck.payload_words().into()),
+                                ("frontier", act_len.into()),
+                            ],
+                        );
+                    }
+                    sink.store(ck);
+                }
+            }
+        }
     }
 
     now = dev.mem.copy_d2h(levels, n as u64 * b as u64, now);
@@ -523,6 +644,91 @@ mod tests {
         res.release(&mut dev);
         dg.release(&mut dev);
         assert_eq!(dev.mem.explicit_used_bytes(), before);
+    }
+
+    #[test]
+    fn resumed_batch_matches_uninterrupted_run() {
+        let g = graph();
+        let cfg = EtaConfig::paper();
+        let digest = g.digest();
+        let sources = vec![0u32, 17, 999];
+        let mut dev = device();
+        let clean = run(&mut dev, &g, &sources, &cfg).unwrap();
+
+        // Checkpointed run: results must be unchanged, snapshots taken.
+        let mut dev2 = device();
+        let (dg2, t2) = DeviceGraph::upload(&mut dev2, &g, cfg.transfer, 0).unwrap();
+        let res2 = MultiBfsResources::alloc(&mut dev2, &g, &cfg).unwrap();
+        let mut sink = eta_ckpt::CkptSink::every(2);
+        let ckd = run_on_ckpt(
+            &mut dev2,
+            &dg2,
+            &res2,
+            &sources,
+            &cfg,
+            t2,
+            CkptCtl::with_sink(&mut sink, digest),
+        )
+        .unwrap();
+        assert_eq!(ckd.levels, clean.levels, "checkpointing is result-inert");
+        assert!(sink.taken >= 1, "the policy fired at least once");
+        assert!(
+            ckd.total_ns > clean.total_ns,
+            "snapshot PCIe traffic is charged on the simulated clock"
+        );
+        let ck = sink.take().unwrap();
+        assert!(ck.iteration >= 2 && ck.iteration < ckd.iterations);
+
+        // Resume on a *different, fresh* device — the migration path.
+        let mut dev3 = device();
+        let (dg3, t3) = DeviceGraph::upload(&mut dev3, &g, cfg.transfer, 0).unwrap();
+        let res3 = MultiBfsResources::alloc(&mut dev3, &g, &cfg).unwrap();
+        let mut sink3 = eta_ckpt::CkptSink::default();
+        let resumed = run_on_ckpt(
+            &mut dev3,
+            &dg3,
+            &res3,
+            &sources,
+            &cfg,
+            t3,
+            CkptCtl::resuming(&mut sink3, &ck, digest),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.levels, clean.levels,
+            "a resumed run is byte-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed.iterations, clean.iterations);
+
+        // A snapshot from another graph epoch is a typed error, not
+        // silent corruption.
+        let err = run_on_ckpt(
+            &mut dev3,
+            &dg3,
+            &res3,
+            &sources,
+            &cfg,
+            0,
+            CkptCtl::resuming(&mut sink3, &ck, digest ^ 1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Checkpoint(CkptError::GraphDigest { .. })
+        ));
+
+        // A snapshot for a different batch shape is rejected too.
+        let err = run_on_ckpt(
+            &mut dev3,
+            &dg3,
+            &res3,
+            &[0u32, 17],
+            &cfg,
+            0,
+            CkptCtl::resuming(&mut sink3, &ck, digest),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::Checkpoint(CkptError::StateShape));
     }
 
     #[test]

@@ -16,10 +16,13 @@
 use crate::active_set::VirtualQueue;
 use crate::config::EtaConfig;
 use crate::device_graph::DeviceGraph;
+use crate::error::QueryError;
 use crate::udc::shadow_count_graph;
+use eta_ckpt::{Checkpoint, CkptCtl, CkptError, CkptState};
 use eta_graph::Csr;
 use eta_mem::system::{DSlice, MemError};
 use eta_mem::Ns;
+use eta_prof::Track;
 use eta_sim::{Device, Kernel, KernelMetrics, LaunchConfig, WarpCtx, WARP_SIZE};
 
 /// PageRank configuration.
@@ -422,6 +425,199 @@ pub fn run(dev: &mut Device, csr: &Csr, cfg: &PageRankConfig) -> Result<PageRank
     })
 }
 
+/// Fault-aware [`run`] with checkpoint/resume control (see eta-ckpt).
+///
+/// Unlike the legacy path this polls the injected-fault watchdog after
+/// every launch and copy, returning [`QueryError::DeviceFault`] instead of
+/// silently completing. The iteration boundary is after the apply step,
+/// where `next_ranks` is zero by construction, so the rank words plus the
+/// completed-iteration count are the complete state; the static UDC queue
+/// is recomputed deterministically on resume rather than snapshotted.
+pub fn run_ckpt(
+    dev: &mut Device,
+    csr: &Csr,
+    cfg: &PageRankConfig,
+    mut ckpt: CkptCtl<'_>,
+) -> Result<PageRankResult, QueryError> {
+    let n = csr.n() as u32;
+    if n == 0 {
+        return Ok(PageRankResult {
+            ranks: Vec::new(),
+            iterations: 0,
+            kernel_ns: 0,
+            total_ns: 0,
+            metrics: KernelMetrics::default(),
+        });
+    }
+    let tpb = cfg.eta.threads_per_block;
+    let (dg, mut now) = DeviceGraph::upload(dev, csr, cfg.eta.transfer, 0)?;
+
+    let ranks = dev.mem.alloc_explicit(n as u64)?;
+    let next_ranks = dev.mem.alloc_explicit(n as u64)?;
+    let contrib = dev.mem.alloc_explicit(n as u64)?;
+    let n_shadows = shadow_count_graph(csr, cfg.eta.k) as u32;
+    let queue = VirtualQueue::alloc(dev, n_shadows.max(1))?;
+
+    let done = if let Some(ck) = ckpt.resume {
+        ck.validate(ckpt.graph_digest, n)?;
+        let ranks_bits = match &ck.state {
+            CkptState::PageRank { ranks_bits } => ranks_bits,
+            _ => return Err(CkptError::StateShape.into()),
+        };
+        if ranks_bits.len() != n as usize || ck.iteration > cfg.iterations {
+            return Err(CkptError::StateShape.into());
+        }
+        now = dev.mem.copy_h2d(ranks, 0, ranks_bits, now);
+        if dev.mem.prof.is_enabled() {
+            dev.mem.prof.record(
+                Track::Ckpt,
+                "resume",
+                0,
+                now,
+                vec![
+                    ("iteration", ck.iteration.into()),
+                    ("words", ck.payload_words().into()),
+                    ("kind", ck.state.kind().into()),
+                ],
+            );
+        }
+        ck.iteration
+    } else {
+        let init = vec![(1.0f32 / n as f32).to_bits(); n as usize];
+        now = dev.mem.copy_h2d(ranks, 0, &init, now);
+        0
+    };
+    now = dev
+        .mem
+        .copy_h2d(next_ranks, 0, &vec![0f32.to_bits(); n as usize], now);
+    now = queue.reset(dev, now);
+    dg.prefetch(dev, now);
+
+    let mut metrics = KernelMetrics::default();
+    let mut kernel_ns = 0u64;
+    let launch = |dev: &mut Device,
+                  kern: &dyn Kernel,
+                  items: u32,
+                  now: Ns,
+                  metrics: &mut KernelMetrics,
+                  kernel_ns: &mut u64|
+     -> Result<Ns, QueryError> {
+        let r = dev.launch(kern, LaunchConfig::for_items(items, tpb), now);
+        metrics.merge(&r.metrics);
+        *kernel_ns += r.metrics.time_ns;
+        if let Some(f) = dev.take_fault() {
+            return Err(f.into());
+        }
+        Ok(r.end_ns.max(r.metrics.data_ready_ns))
+    };
+
+    // Static UDC: recomputed identically whether fresh or resumed, so the
+    // snapshot never needs to carry the queue.
+    let udc = StaticUdcKernel {
+        n,
+        row_offsets: dg.row_offsets,
+        out: queue,
+        k: cfg.eta.k,
+    };
+    now = launch(dev, &udc, n, now, &mut metrics, &mut kernel_ns)?;
+    let (len, t) = queue.read_count(dev, now);
+    now = t;
+    debug_assert_eq!(len, n_shadows);
+
+    for it in done..cfg.iterations {
+        let rank_words = dev.mem.host_read(ranks, 0, n as u64);
+        let dangling: f32 = (0..n as usize)
+            .filter(|&v| csr.degree(v as u32) == 0)
+            .map(|v| f32::from_bits(rank_words[v]))
+            .sum();
+        let base = (1.0 - cfg.damping) / n as f32 + cfg.damping * dangling / n as f32;
+
+        let contrib_k = ContribKernel {
+            n,
+            row_offsets: dg.row_offsets,
+            ranks,
+            contrib,
+        };
+        now = launch(dev, &contrib_k, n, now, &mut metrics, &mut kernel_ns)?;
+
+        let scatter = ScatterKernel {
+            smp: cfg.eta.smp,
+            k: cfg.eta.k,
+            queue,
+            len,
+            col_idx: dg.col_idx,
+            contrib,
+            next_ranks,
+            threads_per_block: tpb,
+        };
+        now = launch(dev, &scatter, len, now, &mut metrics, &mut kernel_ns)?;
+
+        let apply = ApplyKernel {
+            n,
+            ranks,
+            next_ranks,
+            base,
+            damping: cfg.damping,
+        };
+        now = launch(dev, &apply, n, now, &mut metrics, &mut kernel_ns)?;
+
+        // Iteration boundary: apply zeroed next_ranks, so the rank words
+        // are the whole state.
+        let completed = it + 1;
+        if completed < cfg.iterations {
+            if let Some(sink) = ckpt.sink.as_deref_mut() {
+                if sink.policy.due(completed) {
+                    let ck_start = now;
+                    now = dev.mem.copy_d2h(ranks, n as u64, now);
+                    if let Some(f) = dev.take_fault() {
+                        return Err(f.into());
+                    }
+                    let ck = Checkpoint {
+                        graph_digest: ckpt.graph_digest,
+                        n,
+                        iteration: completed,
+                        taken_at_ns: now,
+                        state: CkptState::PageRank {
+                            ranks_bits: dev.mem.host_read(ranks, 0, n as u64).to_vec(),
+                        },
+                    };
+                    if dev.mem.prof.is_enabled() {
+                        dev.mem.prof.record(
+                            Track::Ckpt,
+                            "checkpoint",
+                            ck_start,
+                            now,
+                            vec![
+                                ("iteration", completed.into()),
+                                ("words", ck.payload_words().into()),
+                            ],
+                        );
+                    }
+                    sink.store(ck);
+                }
+            }
+        }
+    }
+
+    now = dev.mem.copy_d2h(ranks, n as u64, now);
+    if let Some(f) = dev.take_fault() {
+        return Err(f.into());
+    }
+    let ranks_host: Vec<f32> = dev
+        .mem
+        .host_read(ranks, 0, n as u64)
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect();
+    Ok(PageRankResult {
+        ranks: ranks_host,
+        iterations: cfg.iterations,
+        kernel_ns,
+        total_ns: now,
+        metrics,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +677,43 @@ mod tests {
             with.metrics.l1_requests,
             without.metrics.l1_requests
         );
+    }
+
+    #[test]
+    fn resumed_pagerank_is_bit_identical() {
+        let g = rmat(&RmatConfig::paper(10, 15_000, 31));
+        let cfg = PageRankConfig::default();
+        let digest = g.digest();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        let mut dev = device();
+        let clean = run(&mut dev, &g, &cfg).unwrap();
+
+        let mut dev2 = device();
+        let mut sink = eta_ckpt::CkptSink::every(7);
+        let ckd = run_ckpt(&mut dev2, &g, &cfg, CkptCtl::with_sink(&mut sink, digest)).unwrap();
+        assert_eq!(
+            bits(&ckd.ranks),
+            bits(&clean.ranks),
+            "checkpointing is result-inert"
+        );
+        let ck = sink.take().unwrap();
+        assert_eq!(ck.iteration, 14, "snapshots at 7 and 14 of 20, keep last");
+
+        let mut dev3 = device();
+        let mut sink3 = eta_ckpt::CkptSink::default();
+        let resumed = run_ckpt(
+            &mut dev3,
+            &g,
+            &cfg,
+            CkptCtl::resuming(&mut sink3, &ck, digest),
+        )
+        .unwrap();
+        assert_eq!(
+            bits(&resumed.ranks),
+            bits(&clean.ranks),
+            "resume replays the remaining iterations bit-for-bit"
+        );
+        assert_eq!(resumed.iterations, clean.iterations);
     }
 
     #[test]

@@ -540,6 +540,12 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // A duplicate key means one of the two values silently loses;
+            // in a fault plan that is an event that never fires (or fires
+            // with the wrong parameters), so reject it outright.
+            if fields.iter().any(|(k, _)| *k == key) {
+                return self.err(&format!("duplicate key `{key}` in object"));
+            }
             self.expect(b':')?;
             fields.push((key, self.value()?));
             match self.peek() {
@@ -552,6 +558,25 @@ impl<'a> Parser<'a> {
             }
         }
     }
+}
+
+/// Rejects empty (`end <= start`) injection windows: a zero-length or
+/// inverted window can never intersect a launch, so a plan carrying one is
+/// almost certainly a typo'd timestamp pair — fail loudly instead of
+/// silently injecting nothing.
+fn check_window(section: &str, start_ns: Ns, end_ns: Ns) -> Result<(), String> {
+    if end_ns <= start_ns {
+        return Err(format!(
+            "fault plan: `{section}` window [{start_ns}, {end_ns}) is {} \
+             (end_ns must be strictly greater than start_ns)",
+            if end_ns == start_ns {
+                "zero-length"
+            } else {
+                "inverted"
+            }
+        ));
+    }
+    Ok(())
 }
 
 fn as_u64(v: &Json, what: &str) -> Result<u64, String> {
@@ -650,11 +675,22 @@ impl FaultPlan {
         if let Some(v) = top.take_opt("ecc") {
             for item in as_arr(v, "ecc")? {
                 let mut f = Fields::new(item, "ecc entry")?;
+                let device = as_u64(f.take("device")?, "ecc.device")? as u32;
+                let at_ns = as_u64(f.take("at_ns")?, "ecc.at_ns")?;
+                let addr_start = as_u64(f.take("addr_start")?, "ecc.addr_start")?;
+                let addr_words = as_u64(f.take("addr_words")?, "ecc.addr_words")?;
+                if addr_words == 0 {
+                    return Err(
+                        "fault plan: `ecc.addr_words` is 0 — an empty address range \
+                         corrupts nothing, so the event could never fire"
+                            .into(),
+                    );
+                }
                 plan.ecc.push(EccFault {
-                    device: as_u64(f.take("device")?, "ecc.device")? as u32,
-                    at_ns: as_u64(f.take("at_ns")?, "ecc.at_ns")?,
-                    addr_start: as_u64(f.take("addr_start")?, "ecc.addr_start")?,
-                    addr_words: as_u64(f.take("addr_words")?, "ecc.addr_words")?,
+                    device,
+                    at_ns,
+                    addr_start,
+                    addr_words,
                     double_bit: as_bool(f.take("double_bit")?, "ecc.double_bit")?,
                 });
                 f.finish()?;
@@ -672,10 +708,13 @@ impl FaultPlan {
                         )
                     }
                 };
+                let start_ns = as_u64(f.take("start_ns")?, "um.start_ns")?;
+                let end_ns = as_u64(f.take("end_ns")?, "um.end_ns")?;
+                check_window("um", start_ns, end_ns)?;
                 plan.um.push(UmFault {
                     device: as_u64(f.take("device")?, "um.device")? as u32,
-                    start_ns: as_u64(f.take("start_ns")?, "um.start_ns")?,
-                    end_ns: as_u64(f.take("end_ns")?, "um.end_ns")?,
+                    start_ns,
+                    end_ns,
                     kind,
                     extra_ns: match f.take_opt("extra_ns") {
                         Some(v) => as_u64(v, "um.extra_ns")?,
@@ -688,10 +727,13 @@ impl FaultPlan {
         if let Some(v) = top.take_opt("hangs") {
             for item in as_arr(v, "hangs")? {
                 let mut f = Fields::new(item, "hangs entry")?;
+                let start_ns = as_u64(f.take("start_ns")?, "hangs.start_ns")?;
+                let end_ns = as_u64(f.take("end_ns")?, "hangs.end_ns")?;
+                check_window("hangs", start_ns, end_ns)?;
                 plan.hangs.push(HangFault {
                     device: as_u64(f.take("device")?, "hangs.device")? as u32,
-                    start_ns: as_u64(f.take("start_ns")?, "hangs.start_ns")?,
-                    end_ns: as_u64(f.take("end_ns")?, "hangs.end_ns")?,
+                    start_ns,
+                    end_ns,
                     budget_ns: as_u64(f.take("budget_ns")?, "hangs.budget_ns")?,
                 });
                 f.finish()?;
@@ -704,10 +746,13 @@ impl FaultPlan {
                 if !factor.is_finite() || factor < 1.0 {
                     return Err("fault plan: `pcie.factor` must be a finite number >= 1.0".into());
                 }
+                let start_ns = as_u64(f.take("start_ns")?, "pcie.start_ns")?;
+                let end_ns = as_u64(f.take("end_ns")?, "pcie.end_ns")?;
+                check_window("pcie", start_ns, end_ns)?;
                 plan.pcie.push(PcieDegradation {
                     device: as_u64(f.take("device")?, "pcie.device")? as u32,
-                    start_ns: as_u64(f.take("start_ns")?, "pcie.start_ns")?,
-                    end_ns: as_u64(f.take("end_ns")?, "pcie.end_ns")?,
+                    start_ns,
+                    end_ns,
                     factor,
                 });
                 f.finish()?;
@@ -919,6 +964,78 @@ mod tests {
         ] {
             let err = FaultPlan::from_json_str(text).expect_err(text);
             assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_everywhere() {
+        // Top level: the second `seed` would silently shadow (or be
+        // shadowed by) the first.
+        let err = FaultPlan::from_json_str(r#"{"seed": 1, "seed": 2}"#).unwrap_err();
+        assert!(err.contains("duplicate key `seed`"), "{err}");
+        // Nested entries reject duplicates too.
+        let err = FaultPlan::from_json_str(
+            r#"{"hangs": [{"device": 0, "start_ns": 0, "start_ns": 5,
+                           "end_ns": 10, "budget_ns": 1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate key `start_ns`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_ecc_address_ranges() {
+        let err = FaultPlan::from_json_str(
+            r#"{"ecc": [{"device": 0, "at_ns": 10, "addr_start": 0,
+                         "addr_words": 0, "double_bit": false}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("addr_words"), "{err}");
+        assert!(err.contains("empty address range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_length_and_inverted_windows() {
+        // Every windowed section names itself in the error; both the
+        // zero-length and the inverted shape are called out explicitly.
+        let cases = [
+            (
+                r#"{"um": [{"device": 0, "start_ns": 5, "end_ns": 5, "kind": "Storm"}]}"#,
+                "um",
+                "zero-length",
+            ),
+            (
+                r#"{"um": [{"device": 0, "start_ns": 9, "end_ns": 2, "kind": "Storm"}]}"#,
+                "um",
+                "inverted",
+            ),
+            (
+                r#"{"hangs": [{"device": 0, "start_ns": 7, "end_ns": 7, "budget_ns": 1}]}"#,
+                "hangs",
+                "zero-length",
+            ),
+            (
+                r#"{"hangs": [{"device": 0, "start_ns": 7, "end_ns": 3, "budget_ns": 1}]}"#,
+                "hangs",
+                "inverted",
+            ),
+            (
+                r#"{"pcie": [{"device": 0, "start_ns": 4, "end_ns": 4, "factor": 2.0}]}"#,
+                "pcie",
+                "zero-length",
+            ),
+            (
+                r#"{"pcie": [{"device": 0, "start_ns": 4, "end_ns": 1, "factor": 2.0}]}"#,
+                "pcie",
+                "inverted",
+            ),
+        ];
+        for (text, section, shape) in cases {
+            let err = FaultPlan::from_json_str(text).expect_err(text);
+            assert!(
+                err.contains(&format!("`{section}` window")),
+                "{text:?} -> {err}"
+            );
+            assert!(err.contains(shape), "{text:?} -> {err}");
         }
     }
 

@@ -5,6 +5,44 @@
 //! CSR overhead the paper's Table I reports for LiveJournal.
 
 use crate::csr::Csr;
+use std::fmt;
+
+/// Why an [`EdgeList`] could not be converted to CSR: the parallel arrays
+/// disagree on length, or an endpoint lies outside the declared vertex
+/// count. Externally-built edge lists (loaders, FFI) hit these on corrupt
+/// input; `try_to_csr` turns them into typed errors instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeListError {
+    /// `src`, `dst`, and (when present) `weights` must be equally long.
+    LengthMismatch {
+        src: usize,
+        dst: usize,
+        weights: Option<usize>,
+    },
+    /// Edge `index` references `vertex`, but the list declares only `n`
+    /// vertices.
+    VertexOutOfRange { index: usize, vertex: u32, n: usize },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::LengthMismatch { src, dst, weights } => {
+                write!(f, "parallel arrays disagree: {src} src, {dst} dst")?;
+                if let Some(w) = weights {
+                    write!(f, ", {w} weights")?;
+                }
+                Ok(())
+            }
+            EdgeListError::VertexOutOfRange { index, vertex, n } => write!(
+                f,
+                "edge {index} references vertex {vertex}, but the list declares {n} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
 
 /// A directed graph as parallel `src`/`dst` (and optional weight) arrays.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,8 +85,41 @@ impl EdgeList {
         words * 4
     }
 
+    /// Converts to CSR, assuming the list is well-formed (panics
+    /// otherwise). For lists built from untrusted input use
+    /// [`EdgeList::try_to_csr`].
     pub fn to_csr(&self) -> Csr {
-        match &self.weights {
+        self.try_to_csr()
+            .expect("EdgeList::to_csr on a malformed list")
+    }
+
+    /// Validated conversion to CSR: checks the parallel arrays agree on
+    /// length and every endpoint is inside `[0, n)` before handing the
+    /// edges to the (panicking) CSR builder.
+    pub fn try_to_csr(&self) -> Result<Csr, EdgeListError> {
+        if self.src.len() != self.dst.len()
+            || self
+                .weights
+                .as_ref()
+                .is_some_and(|w| w.len() != self.src.len())
+        {
+            return Err(EdgeListError::LengthMismatch {
+                src: self.src.len(),
+                dst: self.dst.len(),
+                weights: self.weights.as_ref().map(Vec::len),
+            });
+        }
+        for (index, (&s, &d)) in self.src.iter().zip(&self.dst).enumerate() {
+            let vertex = s.max(d);
+            if vertex as usize >= self.n {
+                return Err(EdgeListError::VertexOutOfRange {
+                    index,
+                    vertex,
+                    n: self.n,
+                });
+            }
+        }
+        Ok(match &self.weights {
             None => {
                 let edges: Vec<(u32, u32)> = self
                     .src
@@ -68,7 +139,7 @@ impl EdgeList {
                     .collect();
                 Csr::from_weighted_edges(self.n, &edges)
             }
-        }
+        })
     }
 }
 
@@ -91,6 +162,61 @@ mod tests {
         let el = EdgeList::from_csr(&g);
         assert_eq!(el.weights.as_ref().unwrap(), &vec![9, 4]);
         assert_eq!(el.to_csr(), g);
+    }
+
+    #[test]
+    fn try_to_csr_rejects_malformed_lists() {
+        // Parallel arrays of different lengths.
+        let el = EdgeList {
+            src: vec![0, 1],
+            dst: vec![1],
+            weights: None,
+            n: 3,
+        };
+        let err = el.try_to_csr().unwrap_err();
+        assert_eq!(
+            err,
+            EdgeListError::LengthMismatch {
+                src: 2,
+                dst: 1,
+                weights: None
+            }
+        );
+        assert!(err.to_string().contains("2 src, 1 dst"), "{err}");
+        // Weights out of step with the edges.
+        let el = EdgeList {
+            src: vec![0, 1],
+            dst: vec![1, 2],
+            weights: Some(vec![5]),
+            n: 3,
+        };
+        assert!(matches!(
+            el.try_to_csr(),
+            Err(EdgeListError::LengthMismatch {
+                weights: Some(1),
+                ..
+            })
+        ));
+        // An endpoint past the declared vertex count, with its position.
+        let el = EdgeList {
+            src: vec![0, 1],
+            dst: vec![1, 9],
+            weights: None,
+            n: 3,
+        };
+        let err = el.try_to_csr().unwrap_err();
+        assert_eq!(
+            err,
+            EdgeListError::VertexOutOfRange {
+                index: 1,
+                vertex: 9,
+                n: 3
+            }
+        );
+        assert!(err.to_string().contains("edge 1"), "{err}");
+        // A well-formed list still converts.
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(EdgeList::from_csr(&g).try_to_csr().unwrap(), g);
     }
 
     #[test]

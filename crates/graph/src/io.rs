@@ -87,37 +87,81 @@ pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
 /// Parses a whitespace-separated edge-list text (`src dst [weight]` per
 /// line, `#`-prefixed comments allowed) — the "human-readable edge lists
 /// format" the paper sizes its datasets in.
+///
+/// Strict: every malformed line is a line-numbered error — vertex ids that
+/// overflow `u32`, endpoints outside a declared `n_hint`, trailing garbage
+/// after the weight, and lines that switch between the weighted and
+/// unweighted arity mid-file (a weight silently defaulting to 1 on *some*
+/// edges is a corrupt dataset, not a convenience).
 pub fn parse_edge_list(text: &str, n_hint: Option<usize>) -> Result<Csr, String> {
     let mut edges: Vec<(u32, u32, u32)> = Vec::new();
-    let mut weighted = false;
+    let mut weighted: Option<bool> = None;
     let mut max_v = 0u32;
+    let parse_vertex = |tok: &str, what: &str, lineno: usize| -> Result<u32, String> {
+        let v: u32 = tok
+            .parse()
+            .map_err(|_| format!("line {}: {what} vertex id {tok:?} is not a u32", lineno + 1))?;
+        if let Some(n) = n_hint {
+            if v as usize >= n {
+                return Err(format!(
+                    "line {}: {what} vertex {v} out of range (graph declared {n} vertices)",
+                    lineno + 1
+                ));
+            }
+        }
+        Ok(v)
+    };
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut it = line.split_whitespace();
-        let s: u32 = it
-            .next()
-            .ok_or_else(|| format!("line {}: missing src", lineno + 1))?
-            .parse()
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let d: u32 = it
-            .next()
-            .ok_or_else(|| format!("line {}: missing dst", lineno + 1))?
-            .parse()
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let s = parse_vertex(
+            it.next()
+                .ok_or_else(|| format!("line {}: missing src", lineno + 1))?,
+            "src",
+            lineno,
+        )?;
+        let d = parse_vertex(
+            it.next()
+                .ok_or_else(|| format!("line {}: missing dst", lineno + 1))?,
+            "dst",
+            lineno,
+        )?;
         let w = match it.next() {
             Some(tok) => {
-                weighted = true;
+                if weighted == Some(false) {
+                    return Err(format!(
+                        "line {}: weighted edge in an unweighted list",
+                        lineno + 1
+                    ));
+                }
+                weighted = Some(true);
                 tok.parse::<u32>()
                     .map_err(|e| format!("line {}: {e}", lineno + 1))?
             }
-            None => 1,
+            None => {
+                if weighted == Some(true) {
+                    return Err(format!(
+                        "line {}: unweighted edge in a weighted list",
+                        lineno + 1
+                    ));
+                }
+                weighted = Some(false);
+                1
+            }
         };
+        if let Some(extra) = it.next() {
+            return Err(format!(
+                "line {}: trailing token {extra:?} after the edge",
+                lineno + 1
+            ));
+        }
         max_v = max_v.max(s).max(d);
         edges.push((s, d, w));
     }
+    let weighted = weighted == Some(true);
     let n = n_hint.unwrap_or(if edges.is_empty() {
         0
     } else {
@@ -161,9 +205,17 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
 }
 
 fn read_u32s(r: &mut impl Read, count: usize) -> io::Result<Vec<u32>> {
-    let mut out = Vec::with_capacity(count);
+    // `count` comes from the file header, i.e. attacker-controlled: a
+    // 40-byte file can claim four billion edges. Cap the *up-front*
+    // allocation and let the vector grow only as bytes actually arrive —
+    // a lying header then fails with a clean truncation error instead of
+    // first allocating gigabytes.
+    const PREALLOC_CAP: usize = 1 << 22; // 16 MiB of u32s
+    let mut out = Vec::with_capacity(count.min(PREALLOC_CAP));
     let mut buf = vec![0u8; 64 * 1024];
-    let mut remaining = count * 4;
+    let mut remaining = count
+        .checked_mul(4)
+        .ok_or_else(|| invalid("element count overflows byte count"))?;
     while remaining > 0 {
         let take = remaining.min(buf.len());
         r.read_exact(&mut buf[..take])?;
@@ -248,5 +300,58 @@ mod tests {
         assert_eq!(weighted.n(), 4);
         assert_eq!(weighted.edge_weights(0), &[9]);
         assert!(parse_edge_list("0 x\n", None).is_err());
+    }
+
+    #[test]
+    fn edge_list_errors_carry_line_numbers() {
+        // Vertex-id overflow: 2^32 does not fit in u32.
+        let err = parse_edge_list("0 1\n2 4294967296\n", None).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("not a u32"), "{err}");
+        // An endpoint past the declared vertex count is an error, not a
+        // panic inside CSR construction.
+        let err = parse_edge_list("# header\n0 1\n1 7\n", Some(4)).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("out of range"), "{err}");
+        assert!(err.contains("4 vertices"), "{err}");
+        // Trailing garbage after the weight column.
+        let err = parse_edge_list("0 1 9 junk\n", None).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("trailing token"), "{err}");
+        // Mixed arity, both directions.
+        let err = parse_edge_list("0 1 9\n1 2\n", None).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("unweighted edge in a weighted list"), "{err}");
+        let err = parse_edge_list("0 1\n1 2 5\n", None).unwrap_err();
+        assert!(err.contains("weighted edge in an unweighted list"), "{err}");
+    }
+
+    #[test]
+    fn lying_header_fails_without_the_giant_allocation() {
+        // A 40-byte file claiming ~4 billion edges: the reader must fail on
+        // truncation, not allocate the claimed 16 GiB up front. The test
+        // passing at all (inside the harness memory budget) is the point.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // flags
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
+        buf.extend_from_slice(&((u32::MAX - 1) as u64).to_le_bytes()); // m: a lie
+        buf.extend_from_slice(&[0u8; 12]); // a few real bytes, then EOF
+        let err = read_csr(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn inconsistent_header_counts_are_rejected() {
+        // row_offsets' last entry disagrees with the header's edge count.
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        // Patch the last row offset (2) to 1; header still claims m = 2.
+        let off_pos = 4 + 4 + 4 + 8 + 8 + 3 * 4;
+        buf[off_pos..off_pos + 4].copy_from_slice(&1u32.to_le_bytes());
+        let err = read_csr(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("last offset"), "{err}");
     }
 }

@@ -27,6 +27,6 @@ pub mod vst;
 
 pub use csr::{Csr, GraphStats, INF};
 pub use datasets::Dataset;
-pub use edgelist::EdgeList;
+pub use edgelist::{EdgeList, EdgeListError};
 pub use gshard::GShards;
 pub use vst::Vst;

@@ -21,6 +21,9 @@ pub enum Track {
     /// Fault-injection events: ECC errors, hangs, UM failures, retries,
     /// quarantines, CPU fallbacks (see eta-fault and PROFILING.md).
     Fault,
+    /// Checkpoint/resume activity: snapshot spans at iteration boundaries,
+    /// resume spans, and migration instants (see eta-ckpt).
+    Ckpt,
 }
 
 impl Track {
@@ -33,6 +36,7 @@ impl Track {
             Track::Iteration => 4,
             Track::Sched => 5,
             Track::Fault => 6,
+            Track::Ckpt => 7,
         }
     }
 
@@ -45,11 +49,12 @@ impl Track {
             Track::Iteration => "engine iterations",
             Track::Sched => "scheduler",
             Track::Fault => "faults",
+            Track::Ckpt => "checkpoints",
         }
     }
 
     /// All tracks, in tid order.
-    pub fn all() -> [Track; 6] {
+    pub fn all() -> [Track; 7] {
         [
             Track::Kernel,
             Track::Transfer,
@@ -57,6 +62,7 @@ impl Track {
             Track::Iteration,
             Track::Sched,
             Track::Fault,
+            Track::Ckpt,
         ]
     }
 }

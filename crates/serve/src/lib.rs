@@ -21,13 +21,23 @@
 //!   percentile math lives in `eta-bench`'s `stats` module.
 //!
 //! With a non-empty [`eta_fault::FaultPlan`] in [`ServeConfig::faults`],
-//! the service survives injected device failures through a three-rung
-//! recovery ladder: per-request retry with exponential backoff, quarantine
-//! of repeatedly-faulting devices, and a last-resort CPU fallback that
-//! answers from `eta_graph::reference` with `degraded: true`. The report
-//! then carries availability, fault events, and quarantine windows. The
-//! default (empty) plan is inert and byte-identical to the pre-fault
-//! service.
+//! the service survives injected device failures through a four-rung
+//! recovery ladder: resume-from-checkpoint (below), per-request retry with
+//! exponential backoff, quarantine of repeatedly-faulting devices, and a
+//! last-resort CPU fallback that answers from `eta_graph::reference` with
+//! `degraded: true`. The report then carries availability, fault events,
+//! and quarantine windows. The default (empty) plan is inert and
+//! byte-identical to the pre-fault service.
+//!
+//! With [`ServeConfig::checkpoint_interval`] `> 0`, running batches emit an
+//! [`eta_ckpt::Checkpoint`] every N completed iterations; when a batch
+//! faults, the scheduler parks each rider's newest snapshot in an
+//! [`eta_ckpt::CkptStore`] and rung 0 of the ladder resumes it after
+//! backoff — on the same device (a re-probe) or migrated to a healthy one,
+//! since snapshots are device-independent host state. The report counts
+//! `checkpoints`, `resumes`, `migrations`, and `work_saved_iterations`;
+//! interval 0 (the default) disables the machinery and is byte-identical
+//! to the pre-checkpoint service.
 //!
 //! Everything is deterministic: the same registry, config, and trace produce
 //! byte-identical reports, because all time is simulated and all randomness

@@ -13,6 +13,7 @@ use etagraph::device_graph::DeviceGraph;
 use etagraph::multi_bfs::{self, MultiBfsResources, MultiBfsResult};
 use etagraph::{EtaConfig, QueryError, TransferMode};
 
+use eta_ckpt::{Checkpoint, CkptCtl, CkptSink};
 use eta_fault::FaultPlan;
 use eta_graph::Csr;
 use eta_mem::Ns;
@@ -23,6 +24,10 @@ use std::collections::BTreeMap;
 struct ResidentGraph {
     dg: DeviceGraph,
     multi: MultiBfsResources,
+    /// Content digest of the uploaded topology (checkpoint epoch guard:
+    /// a snapshot taken against this graph only resumes where the digest
+    /// matches, so migration can never land on the wrong graph version).
+    digest: u64,
     /// LRU clock value of the last dispatch that used this graph.
     last_used: u64,
     /// Dispatches currently using this graph; pinned graphs are never
@@ -138,6 +143,7 @@ impl DeviceWorker {
             ResidentGraph {
                 dg,
                 multi,
+                digest: csr.digest(),
                 last_used: tick,
                 pins: 0,
             },
@@ -188,6 +194,34 @@ impl DeviceWorker {
         let rg = self.resident.get(name).expect("graph must be resident");
         multi_bfs::run_on(&mut self.dev, &rg.dg, &rg.multi, sources, cfg, start)
     }
+
+    /// Content digest of the resident graph `name` (`None` when not
+    /// resident). The scheduler stamps checkpoints with this so a resume
+    /// on another device validates it resumes against the same topology.
+    pub fn resident_digest(&self, name: &str) -> Option<u64> {
+        self.resident.get(name).map(|rg| rg.digest)
+    }
+
+    /// Runs one batch with checkpointing: snapshots land in `sink` at the
+    /// sink's configured interval, and `resume` (when given) restarts the
+    /// batch from a prior snapshot instead of iteration 0. With a disabled
+    /// sink and no resume this is byte-identical to [`Self::run_batch`].
+    pub fn run_batch_ckpt(
+        &mut self,
+        name: &str,
+        sources: &[u32],
+        cfg: &EtaConfig,
+        start: Ns,
+        sink: &mut CkptSink,
+        resume: Option<&Checkpoint>,
+    ) -> Result<MultiBfsResult, QueryError> {
+        let rg = self.resident.get(name).expect("graph must be resident");
+        let ctl = match resume {
+            Some(ck) => CkptCtl::resuming(sink, ck, rg.digest),
+            None => CkptCtl::with_sink(sink, rg.digest),
+        };
+        multi_bfs::run_on_ckpt(&mut self.dev, &rg.dg, &rg.multi, sources, cfg, start, ctl)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +271,38 @@ mod tests {
         w.ensure_resident("g1", &g1, &cfg, 0).unwrap();
         let r = w.run_batch("g1", &[5], &cfg, 0).unwrap();
         assert_eq!(r.levels[0], reference::bfs(&g1, 5));
+    }
+
+    #[test]
+    fn checkpointed_batch_resumes_on_another_worker() {
+        let g = small(1);
+        let cfg = EtaConfig::paper();
+        let sources = vec![0u32, 3, 9];
+        let mut w0 = DeviceWorker::new(0, GpuConfig::default_preset());
+        let t0 = w0.ensure_resident("g", &g, &cfg, 0).unwrap();
+        let clean = w0.run_batch("g", &sources, &cfg, t0).unwrap();
+
+        // Snapshot every 2 iterations on worker 0, then resume the last
+        // snapshot on a different worker — the cross-device migration path.
+        let mut sink = CkptSink::every(2);
+        let mut w1 = DeviceWorker::new(1, GpuConfig::default_preset());
+        let ta = w1.ensure_resident("g", &g, &cfg, 0).unwrap();
+        w1.run_batch_ckpt("g", &sources, &cfg, ta, &mut sink, None)
+            .unwrap();
+        let ck = sink.take().expect("interval 2 must snapshot");
+        assert!(ck.iteration >= 2);
+
+        let mut w2 = DeviceWorker::new(2, GpuConfig::default_preset());
+        let tb = w2.ensure_resident("g", &g, &cfg, 0).unwrap();
+        let resumed = w2
+            .run_batch_ckpt("g", &sources, &cfg, tb, &mut sink, Some(&ck))
+            .unwrap();
+        assert_eq!(resumed.levels, clean.levels, "migration preserves answers");
+        assert_eq!(
+            w2.resident_digest("g"),
+            w1.resident_digest("g"),
+            "same topology hashes identically on both workers"
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct RequestRecord {
     pub device: u32,
     /// Vertices this source reached (a cheap correctness fingerprint).
     pub reached: u32,
+    /// FNV-1a digest of this request's full level array — the strong
+    /// correctness fingerprint the chaos harness compares against the CPU
+    /// reference, catching wrong *distances* that `reached` alone would miss.
+    pub levels_digest: u64,
     /// Whether completion beat the request's deadline; `None` = no deadline.
     pub deadline_met: Option<bool>,
     /// `true` when the answer came from the CPU reference fallback after the
@@ -113,6 +117,16 @@ pub struct ServeReport {
     pub fault_events: Vec<FaultEvent>,
     /// Quarantine windows imposed on repeatedly-faulting devices.
     pub quarantines: Vec<QuarantineRecord>,
+    /// Snapshots taken across all batches (0 when checkpointing is off).
+    pub checkpoints: u32,
+    /// Faulted batches restarted from a snapshot instead of from scratch.
+    pub resumes: u32,
+    /// Resumes that landed on a different device than the one that faulted
+    /// (a subset of `resumes`).
+    pub migrations: u32,
+    /// Sum over all resumes of the iteration each snapshot restored — the
+    /// traversal work the ladder did *not* have to redo.
+    pub work_saved_iterations: u64,
 }
 
 impl ServeReport {
@@ -165,6 +179,7 @@ mod tests {
             batch_size: 1,
             device: 0,
             reached: 1,
+            levels_digest: 0,
             deadline_met: met,
             degraded: false,
             retries: 0,
@@ -207,6 +222,10 @@ mod tests {
             devices: vec![],
             fault_events: vec![],
             quarantines: vec![],
+            checkpoints: 0,
+            resumes: 0,
+            migrations: 0,
+            work_saved_iterations: 0,
         };
         assert_eq!(report.latencies_ns(None), vec![10, 20, 30]);
         assert_eq!(

@@ -16,7 +16,8 @@ use crate::report::{
     BatchRecord, DeviceStats, FaultEvent, QuarantineRecord, RequestRecord, ServeReport,
 };
 use crate::request::{RejectReason, Rejection, Request};
-use eta_fault::FaultPlan;
+use eta_ckpt::{digest_words, CkptSink, CkptStore};
+use eta_fault::{DeviceFault, FaultPlan};
 use eta_graph::{reference, Csr};
 use eta_mem::Ns;
 use eta_prof::{Profile, Profiler, Track};
@@ -73,6 +74,14 @@ pub struct ServeConfig {
     /// How long a quarantined device sits out of dispatch before the
     /// scheduler re-probes it with ordinary traffic.
     pub quarantine_ns: Ns,
+    /// Snapshot interval in traversal iterations (0 = checkpointing off;
+    /// the service then behaves — and its report serializes — exactly as
+    /// if the checkpoint machinery did not exist). With an interval, rung
+    /// 0 of the recovery ladder becomes *resume-from-checkpoint*: a
+    /// faulted batch restarts from its last snapshot after the backoff,
+    /// on the same device (a re-probe) when it is dispatchable again, or
+    /// migrated to the lowest-numbered healthy device otherwise.
+    pub checkpoint_interval: u32,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +98,7 @@ impl Default for ServeConfig {
             backoff_base_ns: 50_000,
             quarantine_after: 3,
             quarantine_ns: 2_000_000,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -103,6 +113,61 @@ struct Queued {
     retries: u32,
     /// Backoff gate: not dispatchable before this time.
     not_before: Ns,
+}
+
+/// A faulted batch with a parked snapshot: rung 0 of the recovery ladder.
+/// The snapshot's level slots index the *original* source list, so the
+/// resume relaunches the full list even when some riders have already
+/// exited to the CPU fallback — only surviving riders produce records.
+#[derive(Debug, Clone)]
+struct ResumableBatch {
+    graph: String,
+    /// Source list of the original launch (checkpoint slots index this).
+    sources: Vec<u32>,
+    /// Surviving riders as (slot into `sources`, queue entry).
+    riders: Vec<(usize, Queued)>,
+    /// Key of the parked snapshot in the scheduler's checkpoint store.
+    ckpt_key: u64,
+    /// Device the snapshot was taken on (preferred for the re-probe).
+    from_device: usize,
+    /// Backoff gate, like [`Queued::not_before`].
+    not_before: Ns,
+}
+
+/// Mutable per-run scheduler state, bundled so the dispatch paths share
+/// one signature instead of a dozen `&mut Vec` parameters.
+struct RunState {
+    queue: Vec<Queued>,
+    resumables: Vec<ResumableBatch>,
+    store: CkptStore,
+    records: Vec<RequestRecord>,
+    rejections: Vec<Rejection>,
+    batches: Vec<BatchRecord>,
+    fault_events: Vec<FaultEvent>,
+    quarantines: Vec<QuarantineRecord>,
+    checkpoints: u32,
+    resumes: u32,
+    migrations: u32,
+    work_saved_iterations: u64,
+}
+
+impl RunState {
+    fn new() -> Self {
+        RunState {
+            queue: Vec::new(),
+            resumables: Vec::new(),
+            store: CkptStore::new(),
+            records: Vec::new(),
+            rejections: Vec::new(),
+            batches: Vec::new(),
+            fault_events: Vec::new(),
+            quarantines: Vec::new(),
+            checkpoints: 0,
+            resumes: 0,
+            migrations: 0,
+            work_saved_iterations: 0,
+        }
+    }
 }
 
 /// The running service: registry + device pool + scheduler state.
@@ -163,40 +228,33 @@ impl<'r> Service<'r> {
             trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
             "trace must be sorted by arrival time"
         );
-        let mut queue: Vec<Queued> = Vec::new();
-        let mut records: Vec<RequestRecord> = Vec::new();
-        let mut rejections: Vec<Rejection> = Vec::new();
-        let mut batches: Vec<BatchRecord> = Vec::new();
-        let mut fault_events: Vec<FaultEvent> = Vec::new();
-        let mut quarantines: Vec<QuarantineRecord> = Vec::new();
+        let mut st = RunState::new();
         let mut next = 0usize;
         let mut now: Ns = 0;
         loop {
             while next < trace.len() && trace[next].arrival_ns <= now {
-                self.admit(&trace[next], now, &mut queue, &mut rejections);
+                self.admit(&trace[next], now, &mut st);
                 next += 1;
             }
-            let dispatchable = queue.iter().any(|q| q.not_before <= now)
-                && self
-                    .workers
-                    .iter()
-                    .any(|w| w.free_at <= now && w.quarantined_until <= now);
-            if dispatchable {
-                self.dispatch(
-                    now,
-                    &mut queue,
-                    &mut records,
-                    &mut rejections,
-                    &mut batches,
-                    &mut fault_events,
-                    &mut quarantines,
-                );
+            let worker_free = self
+                .workers
+                .iter()
+                .any(|w| w.free_at <= now && w.quarantined_until <= now);
+            // Parked batches resume before fresh dispatch: their riders are
+            // the oldest work in the system and their snapshots embody
+            // iterations already paid for.
+            if worker_free && st.resumables.iter().any(|r| r.not_before <= now) {
+                self.dispatch_resume(now, &mut st);
+                continue;
+            }
+            if worker_free && st.queue.iter().any(|q| q.not_before <= now) {
+                self.dispatch(now, &mut st);
                 continue;
             }
             // Nothing dispatchable: advance to the next event.
             let t_arrival = trace.get(next).map(|r| r.arrival_ns);
-            let t_worker = if queue.is_empty() {
-                None // an idle device with an empty queue is not an event
+            let t_worker = if st.queue.is_empty() && st.resumables.is_empty() {
+                None // an idle device with no pending work is not an event
             } else {
                 self.workers
                     .iter()
@@ -204,11 +262,14 @@ impl<'r> Service<'r> {
                     .filter(|&t| t > now)
                     .min()
             };
-            // Backoff gates are events too: a retried request wakes the
-            // loop when its `not_before` passes, even with devices idle.
-            let t_backoff = queue
+            // Backoff gates are events too: a retried request (or a parked
+            // batch) wakes the loop when its `not_before` passes, even with
+            // devices idle.
+            let t_backoff = st
+                .queue
                 .iter()
                 .map(|q| q.not_before)
+                .chain(st.resumables.iter().map(|r| r.not_before))
                 .filter(|&t| t > now)
                 .min();
             match [t_arrival, t_worker, t_backoff].into_iter().flatten().min() {
@@ -216,19 +277,21 @@ impl<'r> Service<'r> {
                 None => break,
             }
         }
-        self.finish(records, rejections, batches, fault_events, quarantines)
+        // Quarantine-audit invariant: a device pulled from dispatch
+        // mid-batch must never strand its riders — everything queued was
+        // either answered or rejected by the time the loop drains.
+        debug_assert!(
+            st.queue.is_empty() && st.resumables.is_empty(),
+            "the event loop may not leave requests stranded"
+        );
+        self.finish(st)
     }
 
     /// Admission control at arrival time. Every refusal is a typed
     /// [`Rejection`]; admitted requests enter the bounded queue.
-    fn admit(
-        &mut self,
-        req: &Request,
-        now: Ns,
-        queue: &mut Vec<Queued>,
-        rejections: &mut Vec<Rejection>,
-    ) {
+    fn admit(&mut self, req: &Request, now: Ns, st: &mut RunState) {
         let prof = &mut self.prof;
+        let rejections = &mut st.rejections;
         let mut reject = |reason: RejectReason| {
             if prof.is_enabled() {
                 prof.instant(
@@ -257,10 +320,10 @@ impl<'r> Service<'r> {
         if DeviceWorker::footprint_bytes(csr, &self.cfg.eta) > capacity {
             return reject(RejectReason::AdmissionDenied);
         }
-        if queue.len() >= self.cfg.queue_capacity {
+        if st.queue.len() >= self.cfg.queue_capacity {
             return reject(RejectReason::QueueFull);
         }
-        queue.push(Queued {
+        st.queue.push(Queued {
             req: req.clone(),
             retries: 0,
             not_before: now,
@@ -274,7 +337,7 @@ impl<'r> Service<'r> {
                     ("id", req.id.into()),
                     ("graph", req.graph.as_str().into()),
                     ("class", req.class.name().into()),
-                    ("depth", queue.len().into()),
+                    ("depth", st.queue.len().into()),
                 ],
             );
         }
@@ -289,23 +352,14 @@ impl<'r> Service<'r> {
     /// until `max_retries`, after which the CPU reference answers it with
     /// `degraded: true`. The faulting device accrues consecutive-fault
     /// strikes and is quarantined at `quarantine_after`.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &mut self,
-        now: Ns,
-        queue: &mut Vec<Queued>,
-        records: &mut Vec<RequestRecord>,
-        rejections: &mut Vec<Rejection>,
-        batches: &mut Vec<BatchRecord>,
-        fault_events: &mut Vec<FaultEvent>,
-        quarantines: &mut Vec<QuarantineRecord>,
-    ) {
+    fn dispatch(&mut self, now: Ns, st: &mut RunState) {
         let prof = &mut self.prof;
+        let rejections = &mut st.rejections;
         // Timeout semantics are inclusive at the boundary tick: a request
         // whose wait has *reached* its limit is already too old to serve
         // (so `timeout_ns: Some(0)` never dispatches, even at its own
         // arrival tick).
-        queue.retain(|q| match q.req.timeout_ns {
+        st.queue.retain(|q| match q.req.timeout_ns {
             Some(limit) if now - q.req.arrival_ns >= limit => {
                 if prof.is_enabled() {
                     prof.instant(
@@ -328,8 +382,8 @@ impl<'r> Service<'r> {
             _ => true,
         });
         match self.cfg.policy {
-            Policy::Fifo => queue.sort_by_key(|q| (q.req.arrival_ns, q.req.id)),
-            Policy::PriorityDeadline => queue.sort_by_key(|q| {
+            Policy::Fifo => st.queue.sort_by_key(|q| (q.req.arrival_ns, q.req.id)),
+            Policy::PriorityDeadline => st.queue.sort_by_key(|q| {
                 (
                     q.req.class.rank(),
                     q.req.deadline_ns.unwrap_or(Ns::MAX),
@@ -341,24 +395,26 @@ impl<'r> Service<'r> {
         // The first dispatchable entry (backoff gate passed) defines the
         // batch's graph; later dispatchable entries for the same graph ride
         // along, up to `max_batch`. Entries still backing off stay queued.
-        let Some(head) = queue.iter().find(|q| q.not_before <= now) else {
+        let Some(head) = st.queue.iter().find(|q| q.not_before <= now) else {
             return; // every dispatchable entry timed out above
         };
         let graph = head.req.graph.clone();
         let mut batch: Vec<Queued> = Vec::new();
-        queue.retain(|q| {
-            if batch.len() < self.cfg.max_batch && q.req.graph == graph && q.not_before <= now {
+        let max_batch = self.cfg.max_batch;
+        st.queue.retain(|q| {
+            if batch.len() < max_batch && q.req.graph == graph && q.not_before <= now {
                 batch.push(q.clone());
                 false
             } else {
                 true
             }
         });
-        let worker = self
+        let widx = self
             .workers
-            .iter_mut()
-            .find(|w| w.free_at <= now && w.quarantined_until <= now)
+            .iter()
+            .position(|w| w.free_at <= now && w.quarantined_until <= now)
             .expect("dispatch requires an idle worker");
+        let worker = &mut self.workers[widx];
         let csr = self.registry.get(&graph).expect("validated at admission");
         let cfg = &self.cfg.eta;
         let ready = match worker.ensure_resident(&graph, csr, cfg, now) {
@@ -379,7 +435,7 @@ impl<'r> Service<'r> {
                             ],
                         );
                     }
-                    rejections.push(Rejection {
+                    st.rejections.push(Rejection {
                         id: q.req.id,
                         reason: RejectReason::AdmissionDenied,
                         at_ns: now,
@@ -390,91 +446,40 @@ impl<'r> Service<'r> {
         };
         worker.pin(&graph);
         let sources: Vec<u32> = batch.iter().map(|q| q.req.source).collect();
-        let result = worker.run_batch(&graph, &sources, cfg, ready);
+        let mut sink = CkptSink::every(self.cfg.checkpoint_interval);
+        let result = if self.cfg.checkpoint_interval == 0 {
+            worker.run_batch(&graph, &sources, cfg, ready)
+        } else {
+            worker.run_batch_ckpt(&graph, &sources, cfg, ready, &mut sink, None)
+        };
         worker.unpin(&graph);
+        st.checkpoints += sink.taken;
         let result = match result {
             Ok(r) => r,
             Err(QueryError::DeviceFault(fault)) => {
-                // The device clock stopped where the fault surfaced; the
-                // worker was busy (and the requests were in flight) until
-                // then.
-                let fail_at = fault.at_ns.max(now);
-                worker.busy_ns += fail_at - now;
-                worker.free_at = fail_at;
-                worker.consecutive_faults += 1;
-                worker.faults += 1;
-                let device = worker.id as u32;
-                fault_events.push(FaultEvent {
-                    device,
-                    kind: fault.kind.name().to_string(),
-                    at_ns: fault.at_ns,
-                });
-                if self.prof.is_enabled() {
-                    self.prof.instant(
-                        Track::Fault,
-                        "device_fault",
-                        fail_at,
-                        vec![
-                            ("device", device.into()),
-                            ("kind", fault.kind.name().into()),
-                        ],
-                    );
-                }
-                if worker.consecutive_faults >= self.cfg.quarantine_after {
-                    worker.quarantined_until = fail_at + self.cfg.quarantine_ns;
-                    worker.consecutive_faults = 0;
-                    quarantines.push(QuarantineRecord {
-                        device,
-                        from_ns: fail_at,
-                        until_ns: worker.quarantined_until,
-                    });
-                    if self.prof.is_enabled() {
-                        self.prof.instant(
-                            Track::Fault,
-                            "quarantine",
-                            fail_at,
-                            vec![
-                                ("device", device.into()),
-                                ("until_ns", worker.quarantined_until.into()),
-                            ],
-                        );
-                    }
-                }
-                for q in batch {
+                let fail_at = self.note_fault(widx, fault, now, st);
+                let device = widx as u32;
+                // Rung 0: with a snapshot in hand, surviving riders park as
+                // a resumable batch instead of restarting from scratch.
+                let parked = sink.take();
+                let mut riders: Vec<(usize, Queued)> = Vec::new();
+                let mut min_retries = u32::MAX;
+                for (slot, q) in batch.into_iter().enumerate() {
                     if q.retries >= self.cfg.max_retries {
-                        // Rung 3: the CPU reference answers. Slow but sure —
-                        // the response is correct, only the path is degraded.
-                        let levels = reference::bfs(csr, q.req.source);
-                        let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
-                        let cpu_ns = Self::cpu_fallback_ns(csr);
-                        let completion = fail_at + cpu_ns;
-                        if self.prof.is_enabled() {
-                            self.prof.instant(
-                                Track::Fault,
-                                "cpu_fallback",
-                                fail_at,
-                                vec![("id", q.req.id.into()), ("cpu_ns", cpu_ns.into())],
-                            );
-                        }
-                        records.push(RequestRecord {
-                            id: q.req.id,
-                            graph: q.req.graph.clone(),
-                            class: q.req.class,
-                            source: q.req.source,
-                            arrival_ns: q.req.arrival_ns,
-                            queue_wait_ns: now - q.req.arrival_ns,
-                            transfer_ns: 0,
-                            compute_ns: cpu_ns,
-                            latency_ns: completion - q.req.arrival_ns,
-                            batch_size: 1,
-                            device,
-                            reached,
-                            deadline_met: q.req.deadline_ns.map(|d| completion <= d),
-                            degraded: true,
-                            retries: q.retries,
-                        });
+                        self.cpu_fallback(&q, csr, now, fail_at, device, st);
+                    } else if parked.is_some() {
+                        min_retries = min_retries.min(q.retries);
+                        riders.push((
+                            slot,
+                            Queued {
+                                retries: q.retries + 1,
+                                not_before: 0, // set below, once the gate is known
+                                req: q.req,
+                            },
+                        ));
                     } else {
-                        // Rung 1: re-queue with exponential backoff. The
+                        // Rung 1 (no snapshot yet — the fault beat the first
+                        // interval): re-queue with exponential backoff. The
                         // gate is strictly in the future, so the event loop
                         // always advances.
                         let delay = self.cfg.backoff_base_ns << q.retries;
@@ -487,23 +492,56 @@ impl<'r> Service<'r> {
                                 vec![("id", q.req.id.into()), ("not_before", not_before.into())],
                             );
                         }
-                        queue.push(Queued {
+                        st.queue.push(Queued {
                             retries: q.retries + 1,
                             not_before,
                             req: q.req,
                         });
                     }
                 }
+                if let Some(ck) = parked {
+                    if !riders.is_empty() {
+                        let delay = self.cfg.backoff_base_ns << min_retries;
+                        let not_before = (fail_at + delay).max(now + 1);
+                        for (_, q) in &mut riders {
+                            q.not_before = not_before;
+                        }
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Ckpt,
+                                "park",
+                                fail_at,
+                                vec![
+                                    ("device", device.into()),
+                                    ("iteration", ck.iteration.into()),
+                                    ("riders", riders.len().into()),
+                                ],
+                            );
+                        }
+                        let ckpt_key = st.store.put(ck);
+                        st.resumables.push(ResumableBatch {
+                            graph,
+                            sources,
+                            riders,
+                            ckpt_key,
+                            from_device: widx,
+                            not_before,
+                        });
+                    }
+                    // Every rider already exited to the CPU reference: the
+                    // snapshot has no one left to serve and is dropped.
+                }
                 return;
             }
             Err(e) => unreachable!("sources validated at admission: {e}"),
         };
+        let worker = &mut self.workers[widx];
         worker.consecutive_faults = 0;
         let completion = ready + result.total_ns;
         worker.busy_ns += completion - now;
         worker.free_at = completion;
-        batches.push(BatchRecord {
-            device: worker.id as u32,
+        st.batches.push(BatchRecord {
+            device: widx as u32,
             graph: graph.clone(),
             size: batch.len() as u32,
             dispatched_ns: now,
@@ -513,7 +551,7 @@ impl<'r> Service<'r> {
         for (k, q) in batch.iter().enumerate() {
             let r = &q.req;
             let reached = result.levels[k].iter().filter(|&&l| l != u32::MAX).count() as u32;
-            records.push(RequestRecord {
+            st.records.push(RequestRecord {
                 id: r.id,
                 graph: r.graph.clone(),
                 class: r.class,
@@ -524,15 +562,15 @@ impl<'r> Service<'r> {
                 compute_ns: result.kernel_ns,
                 latency_ns: completion - r.arrival_ns,
                 batch_size: batch.len() as u32,
-                device: worker.id as u32,
+                device: widx as u32,
                 reached,
+                levels_digest: digest_words(&[&result.levels[k]]),
                 deadline_met: r.deadline_ns.map(|d| completion <= d),
                 degraded: false,
                 retries: q.retries,
             });
         }
         if self.prof.is_enabled() {
-            let device = batches.last().expect("just pushed").device;
             self.prof.record(
                 Track::Sched,
                 "batch",
@@ -540,11 +578,292 @@ impl<'r> Service<'r> {
                 completion,
                 vec![
                     ("graph", graph.as_str().into()),
-                    ("device", device.into()),
+                    ("device", (widx as u32).into()),
                     ("size", batch.len().into()),
                 ],
             );
         }
+    }
+
+    /// Rung 0 of the recovery ladder: relaunch a faulted batch from its
+    /// parked snapshot. The snapshot's own device is preferred once its
+    /// backoff has passed (a re-probe); when that device is busy or
+    /// quarantined the batch migrates to the lowest-numbered healthy
+    /// device whose residency admits the graph.
+    fn dispatch_resume(&mut self, now: Ns, st: &mut RunState) {
+        // Deterministic pick: earliest gate, then lowest surviving rider id
+        // (rider ids are unique across the whole system, so this total
+        // order has no ties).
+        let idx = st
+            .resumables
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.not_before <= now)
+            .min_by_key(|(_, r)| {
+                let min_id = r.riders.iter().map(|(_, q)| q.req.id).min();
+                (r.not_before, min_id.unwrap_or(u32::MAX))
+            })
+            .map(|(i, _)| i)
+            .expect("caller checked a resumable is ready");
+        let rb = st.resumables.remove(idx);
+        let preferred_free = self.workers[rb.from_device].free_at <= now
+            && self.workers[rb.from_device].quarantined_until <= now;
+        let widx = if preferred_free {
+            rb.from_device
+        } else {
+            self.workers
+                .iter()
+                .position(|w| w.free_at <= now && w.quarantined_until <= now)
+                .expect("caller checked an idle worker")
+        };
+        let migrated = widx != rb.from_device;
+        let Some(ck) = st.store.take(rb.ckpt_key) else {
+            // Defensive: a missing snapshot demotes the riders to ordinary
+            // retries (their backoff gates have already passed).
+            st.queue.extend(rb.riders.into_iter().map(|(_, q)| q));
+            return;
+        };
+        let csr = self
+            .registry
+            .get(&rb.graph)
+            .expect("validated at admission");
+        let cfg = &self.cfg.eta;
+        let worker = &mut self.workers[widx];
+        let ready = match worker.ensure_resident(&rb.graph, csr, cfg, now) {
+            Ok(t) => t,
+            Err(_) => {
+                // The healthy device cannot host the graph right now
+                // (residency pressure). Demote: the riders re-enter the
+                // ordinary queue and the ladder continues without the
+                // snapshot.
+                st.queue.extend(rb.riders.into_iter().map(|(_, q)| q));
+                return;
+            }
+        };
+        worker.pin(&rb.graph);
+        let mut sink = CkptSink::every(self.cfg.checkpoint_interval);
+        let saved_iterations = ck.iteration;
+        let result =
+            worker.run_batch_ckpt(&rb.graph, &rb.sources, cfg, ready, &mut sink, Some(&ck));
+        worker.unpin(&rb.graph);
+        st.checkpoints += sink.taken;
+        match result {
+            Ok(result) => {
+                let worker = &mut self.workers[widx];
+                worker.consecutive_faults = 0;
+                let completion = ready + result.total_ns;
+                worker.busy_ns += completion - now;
+                worker.free_at = completion;
+                st.resumes += 1;
+                st.work_saved_iterations += saved_iterations as u64;
+                if migrated {
+                    st.migrations += 1;
+                }
+                if self.prof.is_enabled() {
+                    self.prof.instant(
+                        Track::Ckpt,
+                        if migrated { "migrate" } else { "resume" },
+                        now,
+                        vec![
+                            ("device", (widx as u32).into()),
+                            ("from_device", (rb.from_device as u32).into()),
+                            ("iteration", saved_iterations.into()),
+                            ("riders", rb.riders.len().into()),
+                        ],
+                    );
+                }
+                st.batches.push(BatchRecord {
+                    device: widx as u32,
+                    graph: rb.graph.clone(),
+                    size: rb.riders.len() as u32,
+                    dispatched_ns: now,
+                    started_ns: ready,
+                    completed_ns: completion,
+                });
+                for (slot, q) in &rb.riders {
+                    let r = &q.req;
+                    let levels = &result.levels[*slot];
+                    let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
+                    st.records.push(RequestRecord {
+                        id: r.id,
+                        graph: r.graph.clone(),
+                        class: r.class,
+                        source: r.source,
+                        arrival_ns: r.arrival_ns,
+                        queue_wait_ns: now - r.arrival_ns,
+                        transfer_ns: (completion - now) - result.kernel_ns,
+                        compute_ns: result.kernel_ns,
+                        latency_ns: completion - r.arrival_ns,
+                        batch_size: rb.riders.len() as u32,
+                        device: widx as u32,
+                        reached,
+                        levels_digest: digest_words(&[levels]),
+                        deadline_met: r.deadline_ns.map(|d| completion <= d),
+                        degraded: false,
+                        retries: q.retries,
+                    });
+                }
+            }
+            Err(QueryError::DeviceFault(fault)) => {
+                let fail_at = self.note_fault(widx, fault, now, st);
+                let device = widx as u32;
+                // Progress is never thrown away: a snapshot taken during
+                // the resumed run supersedes the old one; otherwise the old
+                // snapshot is re-parked — the iterations it saved are still
+                // saved.
+                let parked = sink.take().unwrap_or(ck);
+                let mut riders: Vec<(usize, Queued)> = Vec::new();
+                let mut min_retries = u32::MAX;
+                for (slot, q) in rb.riders {
+                    if q.retries >= self.cfg.max_retries {
+                        self.cpu_fallback(&q, csr, now, fail_at, device, st);
+                    } else {
+                        min_retries = min_retries.min(q.retries);
+                        riders.push((
+                            slot,
+                            Queued {
+                                retries: q.retries + 1,
+                                not_before: 0, // set below
+                                req: q.req,
+                            },
+                        ));
+                    }
+                }
+                if !riders.is_empty() {
+                    let delay = self.cfg.backoff_base_ns << min_retries;
+                    let not_before = (fail_at + delay).max(now + 1);
+                    for (_, q) in &mut riders {
+                        q.not_before = not_before;
+                    }
+                    if self.prof.is_enabled() {
+                        self.prof.instant(
+                            Track::Ckpt,
+                            "park",
+                            fail_at,
+                            vec![
+                                ("device", device.into()),
+                                ("iteration", parked.iteration.into()),
+                                ("riders", riders.len().into()),
+                            ],
+                        );
+                    }
+                    let ckpt_key = st.store.put(parked);
+                    st.resumables.push(ResumableBatch {
+                        graph: rb.graph,
+                        sources: rb.sources,
+                        riders,
+                        ckpt_key,
+                        from_device: widx,
+                        not_before,
+                    });
+                }
+            }
+            Err(QueryError::Checkpoint(_)) => {
+                // The snapshot did not validate against the resident graph
+                // (stale epoch or shape mismatch). Treat as "no usable
+                // checkpoint": the riders restart from scratch through the
+                // ordinary queue.
+                st.queue.extend(rb.riders.into_iter().map(|(_, q)| q));
+            }
+            Err(e) => unreachable!("sources validated at admission: {e}"),
+        }
+    }
+
+    /// Shared device-fault bookkeeping: clock/busy accounting, the fault
+    /// event, the consecutive-strike counter, and quarantine when the
+    /// strikes reach the threshold. Returns the fault time on the service
+    /// clock.
+    fn note_fault(&mut self, widx: usize, fault: DeviceFault, now: Ns, st: &mut RunState) -> Ns {
+        let worker = &mut self.workers[widx];
+        // The device clock stopped where the fault surfaced; the worker was
+        // busy (and the requests were in flight) until then.
+        let fail_at = fault.at_ns.max(now);
+        worker.busy_ns += fail_at - now;
+        worker.free_at = fail_at;
+        worker.consecutive_faults += 1;
+        worker.faults += 1;
+        let device = worker.id as u32;
+        let strikes = worker.consecutive_faults;
+        st.fault_events.push(FaultEvent {
+            device,
+            kind: fault.kind.name().to_string(),
+            at_ns: fault.at_ns,
+        });
+        if self.prof.is_enabled() {
+            self.prof.instant(
+                Track::Fault,
+                "device_fault",
+                fail_at,
+                vec![
+                    ("device", device.into()),
+                    ("kind", fault.kind.name().into()),
+                ],
+            );
+        }
+        if strikes >= self.cfg.quarantine_after {
+            let worker = &mut self.workers[widx];
+            worker.quarantined_until = fail_at + self.cfg.quarantine_ns;
+            worker.consecutive_faults = 0;
+            let until_ns = worker.quarantined_until;
+            st.quarantines.push(QuarantineRecord {
+                device,
+                from_ns: fail_at,
+                until_ns,
+            });
+            if self.prof.is_enabled() {
+                self.prof.instant(
+                    Track::Fault,
+                    "quarantine",
+                    fail_at,
+                    vec![("device", device.into()), ("until_ns", until_ns.into())],
+                );
+            }
+        }
+        fail_at
+    }
+
+    /// Rung 3: the CPU reference answers a rider whose retry budget is
+    /// exhausted. Slow but sure — the response is correct, only the path
+    /// is degraded.
+    fn cpu_fallback(
+        &mut self,
+        q: &Queued,
+        csr: &Csr,
+        now: Ns,
+        fail_at: Ns,
+        device: u32,
+        st: &mut RunState,
+    ) {
+        let levels = reference::bfs(csr, q.req.source);
+        let reached = levels.iter().filter(|&&l| l != u32::MAX).count() as u32;
+        let cpu_ns = Self::cpu_fallback_ns(csr);
+        let completion = fail_at + cpu_ns;
+        if self.prof.is_enabled() {
+            self.prof.instant(
+                Track::Fault,
+                "cpu_fallback",
+                fail_at,
+                vec![("id", q.req.id.into()), ("cpu_ns", cpu_ns.into())],
+            );
+        }
+        st.records.push(RequestRecord {
+            id: q.req.id,
+            graph: q.req.graph.clone(),
+            class: q.req.class,
+            source: q.req.source,
+            arrival_ns: q.req.arrival_ns,
+            queue_wait_ns: now - q.req.arrival_ns,
+            transfer_ns: 0,
+            compute_ns: cpu_ns,
+            latency_ns: completion - q.req.arrival_ns,
+            batch_size: 1,
+            device,
+            reached,
+            levels_digest: digest_words(&[&levels]),
+            deadline_met: q.req.deadline_ns.map(|d| completion <= d),
+            degraded: true,
+            retries: q.retries,
+        });
     }
 
     /// Simulated cost of a host-side [`reference::bfs`] answer: a fixed
@@ -556,14 +875,19 @@ impl<'r> Service<'r> {
 
     /// Assembles the final report: makespan, throughput, availability,
     /// per-device stats, and the fault/quarantine timelines.
-    fn finish(
-        &self,
-        mut records: Vec<RequestRecord>,
-        mut rejections: Vec<Rejection>,
-        batches: Vec<BatchRecord>,
-        fault_events: Vec<FaultEvent>,
-        quarantines: Vec<QuarantineRecord>,
-    ) -> ServeReport {
+    fn finish(&self, st: RunState) -> ServeReport {
+        let RunState {
+            mut records,
+            mut rejections,
+            batches,
+            fault_events,
+            quarantines,
+            checkpoints,
+            resumes,
+            migrations,
+            work_saved_iterations,
+            ..
+        } = st;
         records.sort_by_key(|r| r.id);
         rejections.sort_by_key(|r| r.id);
         // CPU-fallback completions have no batch record, so the makespan
@@ -615,6 +939,10 @@ impl<'r> Service<'r> {
             devices,
             fault_events,
             quarantines,
+            checkpoints,
+            resumes,
+            migrations,
+            work_saved_iterations,
         }
     }
 }
@@ -898,6 +1226,223 @@ mod tests {
             .collect();
         let cfg = ServeConfig {
             faults: plan,
+            ..ServeConfig::default()
+        };
+        let a = Service::new(&reg, cfg.clone()).run(&trace);
+        let b = Service::new(&reg, cfg).run(&trace);
+        let json = |r: &ServeReport| serde_json::to_string(r).expect("report serializes");
+        assert_eq!(json(&a), json(&b), "same plan, same trace, same bytes");
+        assert_eq!(a.completed + a.rejected, 8, "every request is accounted");
+    }
+
+    #[test]
+    fn checkpointed_ladder_resumes_and_beats_restart_from_scratch() {
+        use eta_fault::{FaultPlan, HangFault};
+        let reg = registry_with(&[("g", 1)]);
+        let trace = vec![req(0, "g", 0, 0)];
+        // Budget 50 µs: the small early-iteration kernels fit, the
+        // peak-frontier propagate kernel does not — the watchdog kills the
+        // traversal mid-run, after the interval-2 snapshot exists.
+        let permanent = |end_ns| FaultPlan {
+            hangs: vec![HangFault {
+                device: 0,
+                start_ns: 0,
+                end_ns,
+                budget_ns: 50_000,
+            }],
+            ..FaultPlan::default()
+        };
+        // Probe: a permanent window pins down the (deterministic) time of
+        // the first mid-traversal kill under checkpointing.
+        let probe = Service::new(
+            &reg,
+            ServeConfig {
+                faults: permanent(Ns::MAX),
+                checkpoint_interval: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&trace);
+        assert_eq!(probe.completed, 1, "even a permanent hang loses nothing");
+        let fail_at = probe.fault_events[0].at_ns;
+        // Close the window just after that first kill: the re-probe on the
+        // same device (rung 0, after one backoff) then runs clean.
+        let ckpt = Service::new(
+            &reg,
+            ServeConfig {
+                faults: permanent(fail_at + 1),
+                checkpoint_interval: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&trace);
+        assert_eq!(ckpt.completed, 1);
+        assert_eq!(ckpt.degraded, 0, "the resume answered, not the CPU");
+        assert_eq!(ckpt.resumes, 1, "one resume-from-checkpoint");
+        assert_eq!(ckpt.migrations, 0, "same-device re-probe, no migration");
+        assert!(ckpt.checkpoints >= 1);
+        assert_eq!(
+            ckpt.work_saved_iterations, 2,
+            "the interval-2 snapshot restored iteration 2"
+        );
+        let r = &ckpt.records[0];
+        assert_eq!(r.retries, 1);
+        let expect = reference::bfs(reg.get("g").unwrap(), 0);
+        assert_eq!(
+            r.levels_digest,
+            eta_ckpt::digest_words(&[&expect]),
+            "resumed answer is bit-identical to the host reference"
+        );
+        // The same plan without checkpointing restarts from scratch; the
+        // resume path must strictly beat it on the service clock.
+        let scratch = Service::new(
+            &reg,
+            ServeConfig {
+                faults: permanent(fail_at + 1),
+                ..ServeConfig::default()
+            },
+        )
+        .run(&trace);
+        assert_eq!(scratch.completed, 1);
+        assert_eq!(scratch.resumes, 0);
+        assert!(
+            ckpt.makespan_ns < scratch.makespan_ns,
+            "resume ({} ns) must beat restart-from-scratch ({} ns)",
+            ckpt.makespan_ns,
+            scratch.makespan_ns
+        );
+    }
+
+    #[test]
+    fn resume_migrates_off_a_quarantined_device() {
+        use eta_fault::{FaultPlan, HangFault};
+        let reg = registry_with(&[("g", 1)]);
+        // Device 0 hangs forever at the peak-frontier kernel and is
+        // quarantined on its first strike; the parked batch must migrate
+        // to healthy device 1 and finish from the snapshot.
+        let plan = FaultPlan {
+            hangs: vec![HangFault {
+                device: 0,
+                start_ns: 0,
+                end_ns: Ns::MAX,
+                budget_ns: 50_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = ServeConfig {
+            devices: 2,
+            faults: plan,
+            quarantine_after: 1,
+            checkpoint_interval: 2,
+            ..ServeConfig::default()
+        };
+        let report = Service::new(&reg, cfg).run(&[req(0, "g", 0, 0)]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.quarantines.len(), 1);
+        assert_eq!(report.quarantines[0].device, 0);
+        assert_eq!(report.resumes, 1);
+        assert_eq!(report.migrations, 1, "resume landed on the other device");
+        assert_eq!(report.work_saved_iterations, 2);
+        let r = &report.records[0];
+        assert_eq!(r.device, 1, "answered by the healthy device");
+        let expect = reference::bfs(reg.get("g").unwrap(), 0);
+        assert_eq!(r.levels_digest, eta_ckpt::digest_words(&[&expect]));
+    }
+
+    #[test]
+    fn consecutive_fault_counter_resets_on_successful_reprobe() {
+        use eta_fault::{FaultPlan, HangFault};
+        let reg = registry_with(&[("g", 1)]);
+        let trace = vec![req(0, "g", 0, 0)];
+        // Probe the first kill time, then close the window just after it:
+        // the retry runs clean on the same device.
+        let permanent = |end_ns| FaultPlan {
+            hangs: vec![HangFault {
+                device: 0,
+                start_ns: 0,
+                end_ns,
+                budget_ns: 50_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let probe = Service::new(
+            &reg,
+            ServeConfig {
+                faults: permanent(Ns::MAX),
+                ..ServeConfig::default()
+            },
+        )
+        .run(&trace);
+        let fail_at = probe.fault_events[0].at_ns;
+        let mut service = Service::new(
+            &reg,
+            ServeConfig {
+                faults: permanent(fail_at + 1),
+                ..ServeConfig::default()
+            },
+        );
+        let report = service.run(&trace);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.fault_events.len(), 1);
+        let w = &service.workers()[0];
+        assert_eq!(
+            w.consecutive_faults, 0,
+            "a successful re-probe must clear the quarantine strikes"
+        );
+        assert_eq!(w.faults, 1, "the lifetime fault count is kept");
+        assert!(report.quarantines.is_empty());
+    }
+
+    #[test]
+    fn mid_batch_quarantine_strands_no_riders() {
+        use eta_fault::{FaultPlan, HangFault};
+        let reg = registry_with(&[("g", 1)]);
+        // A batch of 5 rides a device that hangs instantly and quarantines
+        // on the first strike. Every rider must still be answered: the
+        // ladder walks retry → quarantine wait → retry → CPU fallback.
+        let plan = FaultPlan {
+            hangs: vec![HangFault {
+                device: 0,
+                start_ns: 0,
+                end_ns: Ns::MAX,
+                budget_ns: 1_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = ServeConfig {
+            faults: plan,
+            quarantine_after: 1,
+            checkpoint_interval: 2,
+            ..ServeConfig::default()
+        };
+        let trace: Vec<Request> = (0..5).map(|i| req(i, "g", i, 0)).collect();
+        let report = Service::new(&reg, cfg).run(&trace);
+        assert_eq!(
+            report.completed + report.rejected,
+            5,
+            "a quarantine mid-batch may not strand its riders"
+        );
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.degraded, 5, "instant hangs push everyone to CPU");
+        assert!(!report.quarantines.is_empty());
+        for r in &report.records {
+            let expect = reference::bfs(reg.get("g").unwrap(), r.source);
+            assert_eq!(r.levels_digest, eta_ckpt::digest_words(&[&expect]));
+        }
+    }
+
+    #[test]
+    fn checkpointed_faulted_runs_are_deterministic() {
+        let reg = registry_with(&[("g", 1), ("h", 2)]);
+        let plan = eta_fault::FaultPlan::seeded(7, 1, 40_000_000);
+        let trace: Vec<Request> = (0..8)
+            .map(|i| req(i, if i % 2 == 0 { "g" } else { "h" }, i, (i as Ns) * 10_000))
+            .collect();
+        let cfg = ServeConfig {
+            faults: plan,
+            checkpoint_interval: 2,
             ..ServeConfig::default()
         };
         let a = Service::new(&reg, cfg.clone()).run(&trace);

@@ -1,0 +1,172 @@
+//! Checkpoint/resume contract tests, spanning eta-ckpt → core engines →
+//! serve's recovery ladder.
+//!
+//! Three properties anchor the subsystem:
+//!
+//! 1. **Checkpointing is result-inert.** A traversal that emits snapshots
+//!    produces the same answer as one that never heard of checkpoints —
+//!    which is what lets the hooks live inside the hot loops permanently.
+//! 2. **Rung 0 saves real work.** Under a mid-traversal hang, the
+//!    checkpointed recovery ladder resumes (instead of restarting) and
+//!    finishes strictly earlier than the restart-from-scratch ladder on
+//!    the identical trace and fault plan.
+//! 3. **Recovery with checkpoints stays deterministic and lossless** for
+//!    arbitrary seeded plans: every request accounted for, byte-identical
+//!    reports across reruns.
+
+use eta_fault::{FaultPlan, HangFault};
+use eta_graph::generate::{rmat, RmatConfig};
+use eta_graph::reference;
+use eta_serve::{poisson_trace, GraphRegistry, ServeConfig, Service, WorkloadConfig};
+use proptest::prelude::*;
+
+fn registry() -> GraphRegistry {
+    let mut reg = GraphRegistry::new();
+    reg.insert("g", rmat(&RmatConfig::paper(10, 8_000, 1)));
+    reg
+}
+
+fn trace(reg: &GraphRegistry, requests: u32) -> Vec<eta_serve::Request> {
+    poisson_trace(
+        reg,
+        &["g".to_string()],
+        &WorkloadConfig {
+            requests,
+            seed: 7,
+            rate_per_s: 20_000.0,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// The acceptance scenario end-to-end: a mid-traversal hang (the 50 µs
+/// budget passes small-frontier kernels and kills the peak one),
+/// checkpoint interval 2. The checkpointed ladder must resume with work
+/// saved and beat the restart-from-scratch ladder's makespan on the
+/// identical inputs — and still answer every query correctly.
+#[test]
+fn checkpointed_ladder_beats_restart_from_scratch_end_to_end() {
+    let reg = registry();
+    let t = trace(&reg, 12);
+    let hang = |end_ns| FaultPlan {
+        hangs: vec![HangFault {
+            device: 0,
+            start_ns: 0,
+            end_ns,
+            budget_ns: 50_000,
+        }],
+        ..FaultPlan::default()
+    };
+    let run = |plan: &FaultPlan, interval: u32| {
+        Service::new(
+            &reg,
+            ServeConfig {
+                devices: 2,
+                faults: plan.clone(),
+                checkpoint_interval: interval,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&t)
+    };
+    // Probe with a permanent window to learn the deterministic fail time,
+    // then bound the window just past it: the first peak-frontier launch
+    // still dies mid-traversal, but the post-backoff re-probe runs clean.
+    // (Under a *permanent* hang the snapshot can never complete on the
+    // faulty device either, so both ladders end at the CPU fallback and
+    // the comparison would measure nothing.)
+    let probe = run(&hang(u64::MAX), 2);
+    let fail_at = probe.fault_events.first().expect("probe must fault").at_ns;
+    let plan = hang(fail_at + 1);
+    let scratch = run(&plan, 0);
+    let ckpt = run(&plan, 2);
+
+    assert_eq!(ckpt.completed + ckpt.rejected, 12, "nothing lost");
+    assert!(ckpt.resumes > 0, "the hang must trigger rung 0");
+    assert!(
+        ckpt.work_saved_iterations > 0,
+        "resume restores paid-for work"
+    );
+    assert_eq!(scratch.resumes, 0, "interval 0 = the old ladder");
+    assert!(
+        ckpt.makespan_ns < scratch.makespan_ns,
+        "resume ({}) must strictly beat restart-from-scratch ({})",
+        ckpt.makespan_ns,
+        scratch.makespan_ns
+    );
+    // Every completed answer still matches the CPU reference.
+    for r in &ckpt.records {
+        let expect = eta_ckpt::digest_words(&[&reference::bfs(reg.get("g").unwrap(), r.source)]);
+        assert_eq!(r.levels_digest, expect, "request {} answered wrong", r.id);
+    }
+}
+
+/// Checkpointing with no faults is pure overhead bookkeeping: same
+/// answers, snapshots taken, none consumed.
+#[test]
+fn checkpointing_without_faults_changes_no_answer() {
+    let reg = registry();
+    let t = trace(&reg, 10);
+    let run = |interval: u32| {
+        Service::new(
+            &reg,
+            ServeConfig {
+                devices: 1,
+                checkpoint_interval: interval,
+                ..ServeConfig::default()
+            },
+        )
+        .run(&t)
+    };
+    let off = run(0);
+    let on = run(2);
+    assert!(on.checkpoints > 0);
+    assert_eq!(on.resumes, 0);
+    assert_eq!(off.completed, on.completed);
+    let digests = |r: &eta_serve::ServeReport| {
+        let mut d: Vec<(u32, u64)> = r.records.iter().map(|x| (x.id, x.levels_digest)).collect();
+        d.sort_unstable();
+        d
+    };
+    assert_eq!(
+        digests(&off),
+        digests(&on),
+        "answers are interval-invariant"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seeded plan and interval, the checkpointed service loses
+    /// nothing and reruns byte-identically.
+    #[test]
+    fn checkpointed_recovery_is_lossless_and_deterministic(
+        seed in any::<u64>(),
+        interval in 0u32..5,
+    ) {
+        let reg = registry();
+        let t = trace(&reg, 8);
+        let plan = FaultPlan::seeded(seed, 2, 50_000_000);
+        let run = || {
+            Service::new(
+                &reg,
+                ServeConfig {
+                    devices: 2,
+                    faults: plan.clone(),
+                    checkpoint_interval: interval,
+                    ..ServeConfig::default()
+                },
+            )
+            .run(&t)
+        };
+        let a = run();
+        prop_assert_eq!(a.completed + a.rejected, 8, "every request accounted for");
+        let b = run();
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "reruns must be byte-identical"
+        );
+    }
+}
