@@ -14,6 +14,10 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+echo "==> etagraph lint (static invariant gate; nonzero on any non-baselined"
+echo "    finding OR any stale lint.allow entry — see DESIGN.md's catalogue)"
+cargo run --release -p eta-cli -- lint
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -10,15 +10,15 @@
 //! Each artifact is printed and, with `--out DIR`, also written as
 //! `DIR/<name>.txt` and `DIR/<name>.json`.
 
+use eta_bench::hosttime::Stopwatch;
 use eta_bench::tables::Artifact;
 use eta_bench::{figs, tables, Suite};
 use std::io::Write;
 use std::path::PathBuf;
-use std::time::Instant;
 
-const KNOWN: [&str; 16] = [
+const KNOWN: [&str; 17] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize", "serve", "profile", "faults", "chaos",
+    "extras", "sanitize", "serve", "profile", "faults", "chaos", "lint",
 ];
 
 fn main() {
@@ -58,12 +58,11 @@ fn main() {
     }
 
     for name in wanted {
-        let t0 = Instant::now();
+        let sw = Stopwatch::started();
         let artifact = generate(&name, suite);
-        let elapsed = t0.elapsed();
         println!("\n=== {} ===", artifact.title);
         println!("{}", artifact.text);
-        println!("[generated in {:.1}s]", elapsed.as_secs_f64());
+        println!("[generated in {:.1}s]", sw.elapsed_secs());
         if let Some(dir) = &out_dir {
             write_artifact(dir, &artifact);
         }
@@ -96,6 +95,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         "profile" => eta_bench::profile_report::profile(suite),
         "faults" => eta_bench::faults_report::faults(suite),
         "chaos" => eta_bench::chaos::chaos(suite),
+        "lint" => eta_bench::lint_report::lint(),
         _ => unreachable!("validated in main"),
     }
 }

@@ -1,0 +1,49 @@
+//! Host wall-clock access, quarantined.
+//!
+//! Every artifact in this workspace is a function of the *simulated* clock
+//! (`eta-sim`'s cycle counters): two runs of the same command must emit the
+//! same bytes. The only legitimate use of the host clock is progress
+//! feedback on stderr/stdout framing — "how long did this artifact take to
+//! generate" — which is never part of an artifact's text or JSON.
+//!
+//! `L-DET-TIME` allowlists exactly this file; any `Instant`/`SystemTime`
+//! anywhere else in the workspace is a lint finding. Keeping the wall clock
+//! behind one tiny API makes "does host time leak into artifact bytes?"
+//! greppable instead of a per-call-site argument.
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch for operator-facing progress lines.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn started() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall seconds since `started()`. For progress display only — never
+    /// write this into an artifact.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic_and_nonnegative() {
+        let sw = Stopwatch::started();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -12,6 +12,8 @@ pub mod chaos;
 pub mod extras;
 pub mod faults_report;
 pub mod figs;
+pub mod hosttime;
+pub mod lint_report;
 pub mod profile_report;
 pub mod sanitize;
 pub mod serve_report;

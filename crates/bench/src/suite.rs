@@ -7,7 +7,7 @@ use eta_graph::datasets::{self, Dataset};
 use eta_graph::Csr;
 use eta_sim::GpuConfig;
 use etagraph::{Algorithm, RunResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which datasets a report run covers.
@@ -28,24 +28,25 @@ pub fn datasets_for(suite: Suite) -> Vec<&'static str> {
 }
 
 struct Cache {
-    plain: HashMap<&'static str, Arc<Dataset>>,
-    unweighted: HashMap<&'static str, Arc<Csr>>,
-    weighted: HashMap<&'static str, Arc<Csr>>,
+    plain: BTreeMap<&'static str, Arc<Dataset>>,
+    unweighted: BTreeMap<&'static str, Arc<Csr>>,
+    weighted: BTreeMap<&'static str, Arc<Csr>>,
 }
 
 fn cache() -> &'static Mutex<Cache> {
     static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
     CACHE.get_or_init(|| {
         Mutex::new(Cache {
-            plain: HashMap::new(),
-            unweighted: HashMap::new(),
-            weighted: HashMap::new(),
+            plain: BTreeMap::new(),
+            unweighted: BTreeMap::new(),
+            weighted: BTreeMap::new(),
         })
     })
 }
 
 /// Builds (once per process) and returns a dataset.
 pub fn dataset(name: &'static str) -> Arc<Dataset> {
+    // lint: allow(L-PANIC): a poisoned cache lock means a bench thread already panicked
     let mut c = cache().lock().unwrap();
     if let Some(d) = c.plain.get(name) {
         return d.clone();
@@ -58,6 +59,7 @@ pub fn dataset(name: &'static str) -> Arc<Dataset> {
 /// The weighted topology of a dataset (cached).
 pub fn weighted(name: &'static str) -> Arc<Csr> {
     {
+        // lint: allow(L-PANIC): a poisoned cache lock means a bench thread already panicked
         let c = cache().lock().unwrap();
         if let Some(w) = c.weighted.get(name) {
             return w.clone();
@@ -65,6 +67,7 @@ pub fn weighted(name: &'static str) -> Arc<Csr> {
     }
     let d = dataset(name);
     let w = Arc::new(d.weighted());
+    // lint: allow(L-PANIC): a poisoned cache lock means a bench thread already panicked
     cache().lock().unwrap().weighted.insert(name, w.clone());
     w
 }
@@ -76,12 +79,14 @@ pub fn graph_for(name: &'static str, alg: Algorithm) -> Arc<Csr> {
         return weighted(name);
     }
     {
+        // lint: allow(L-PANIC): a poisoned cache lock means a bench thread already panicked
         let c = cache().lock().unwrap();
         if let Some(g) = c.unweighted.get(name) {
             return g.clone();
         }
     }
     let g = Arc::new(dataset(name).csr.clone());
+    // lint: allow(L-PANIC): a poisoned cache lock means a bench thread already panicked
     cache().lock().unwrap().unweighted.insert(name, g.clone());
     g
 }

@@ -4,7 +4,7 @@
 //! workspace policy is to keep the dependency set to the approved list.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parsed command-line arguments: positionals in order, flags by name.
 ///
@@ -15,10 +15,12 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
-    flags: HashMap<String, String>,
+    /// Ordered map so "unknown flag(s)" messages list names in a stable
+    /// order regardless of how the user passed them.
+    flags: BTreeMap<String, String>,
     /// Flags given without a value (`--json`).
     switches: Vec<String>,
-    consumed: RefCell<HashSet<String>>,
+    consumed: RefCell<BTreeSet<String>>,
 }
 
 /// Parsing failure with a user-facing message.
@@ -42,12 +44,11 @@ impl Args {
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                match it.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = it.next().expect("peeked");
+                match it.next_if(|next| !next.starts_with("--")) {
+                    Some(value) => {
                         out.flags.insert(name.to_string(), value);
                     }
-                    _ => out.switches.push(name.to_string()),
+                    None => out.switches.push(name.to_string()),
                 }
             } else {
                 out.positional.push(tok);

@@ -26,6 +26,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
         Some("run") => run(&args),
         Some("serve") => serve(&args),
         Some("chaos") => chaos(&args),
+        Some("lint") => lint(&args),
         Some("datasets") => datasets(&args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n{}", usage()))),
         None => Err(ArgError(usage())),
@@ -51,6 +52,7 @@ pub fn usage() -> String {
      \x20          [--faults PLAN.json] [--ckpt-interval I] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph chaos [--full] [--out DIR] [--json]\n\
+     etagraph lint [--root DIR] [--json]\n\
      etagraph datasets [--json]"
         .to_string()
 }
@@ -747,6 +749,39 @@ fn chaos(args: &Args) -> Result<Output, ArgError> {
     Ok(Output { json: a.json, text })
 }
 
+/// Runs the workspace static invariant checker (`crates/lint`): seven
+/// token-pattern rules over every library source, minus the committed
+/// `lint.allow` baseline. Any non-baselined finding — or any stale baseline
+/// entry — fails the command, which is exactly what the ci.sh gate needs.
+fn lint(args: &Args) -> Result<Output, ArgError> {
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("reading current directory: {e}")))?;
+            eta_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError(
+                    "no workspace root (a directory holding crates/ and Cargo.toml) above \
+                     the current directory; pass --root DIR"
+                        .into(),
+                )
+            })?
+        }
+    };
+    args.ensure_consumed()?;
+
+    let report =
+        eta_lint::lint_workspace(&root).map_err(|e| ArgError(format!("lint did not run: {e}")))?;
+    let text = report.text();
+    if !report.is_clean() {
+        return Err(ArgError(text));
+    }
+    Ok(Output {
+        json: eta_bench::lint_report::value(&report),
+        text,
+    })
+}
+
 fn datasets(_args: &Args) -> Result<Output, ArgError> {
     let mut text = String::from("scaled evaluation datasets (built in-memory by eta-bench):\n");
     let mut rows = Vec::new();
@@ -1200,6 +1235,26 @@ mod tests {
         // Typo'd flags are named here too.
         let err = dispatch(argv("chaos --fulll")).unwrap_err();
         assert!(err.0.contains("--fulll"), "{err}");
+    }
+
+    #[test]
+    fn lint_subcommand_is_clean_at_head() {
+        // The test binary runs from the workspace (or a crate dir under
+        // it), so root discovery finds the real tree.
+        let out = dispatch(argv("lint")).unwrap();
+        assert!(
+            out.text.contains("clean: no non-baselined findings"),
+            "{}",
+            out.text
+        );
+        assert_eq!(out.json["clean"], true);
+        assert_eq!(out.json["new"], 0u32);
+        // A root with no workspace shape is a proper error, not a panic.
+        let err = dispatch(argv("lint --root /nonexistent-root")).unwrap_err();
+        assert!(err.0.contains("lint did not run"), "{err}");
+        // Typo'd flags are named.
+        let err = dispatch(argv("lint --rot .")).unwrap_err();
+        assert!(err.0.contains("--rot"), "{err}");
     }
 
     #[test]

@@ -422,7 +422,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -455,7 +455,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
@@ -484,9 +484,13 @@ impl<'a> Parser<'a> {
                     let s = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
                         format!("fault plan JSON, byte {}: invalid UTF-8", self.pos)
                     })?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    match s.chars().next() {
+                        Some(ch) => {
+                            out.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        None => return self.err("unterminated string"),
+                    }
                 }
                 None => return self.err("unterminated string"),
             }
@@ -504,14 +508,15 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("fault plan JSON, byte {start}: invalid UTF-8 in number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("fault plan JSON, byte {start}: bad number `{text}`"))
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -531,7 +536,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -546,7 +551,7 @@ impl<'a> Parser<'a> {
             if fields.iter().any(|(k, _)| *k == key) {
                 return self.err(&format!("duplicate key `{key}` in object"));
             }
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             fields.push((key, self.value()?));
             match self.peek() {
                 Some(b',') => self.pos += 1,

@@ -52,6 +52,7 @@ impl Csr {
     pub fn edge_weights(&self, v: u32) -> &[u32] {
         let a = self.row_offsets[v as usize] as usize;
         let b = self.row_offsets[v as usize + 1] as usize;
+        // lint: allow(L-PANIC): documented precondition — callers check is_weighted()
         &self.weights.as_ref().expect("graph is unweighted")[a..b]
     }
 
@@ -143,7 +144,7 @@ impl Csr {
         if self.row_offsets[0] != 0 {
             return Err("row_offsets[0] must be 0".into());
         }
-        if *self.row_offsets.last().unwrap() as usize != self.col_idx.len() {
+        if self.row_offsets.last().copied().unwrap_or(0) as usize != self.col_idx.len() {
             return Err("last offset must equal edge count".into());
         }
         if self.row_offsets.windows(2).any(|w| w[0] > w[1]) {

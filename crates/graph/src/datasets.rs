@@ -103,6 +103,7 @@ pub fn build(name: &str) -> Dataset {
                 seed: 0x2006,
             },
         ),
+        // lint: allow(L-PANIC): registry is closed over ALL; an unknown name is caller error
         other => panic!("unknown dataset {other:?}; known: {ALL:?}"),
     }
 }

@@ -89,6 +89,7 @@ impl EdgeList {
     /// otherwise). For lists built from untrusted input use
     /// [`EdgeList::try_to_csr`].
     pub fn to_csr(&self) -> Csr {
+        // lint: allow(L-PANIC): documented panicking variant; try_to_csr is the fallible API
         self.try_to_csr()
             .expect("EdgeList::to_csr on a malformed list")
     }

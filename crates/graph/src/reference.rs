@@ -76,6 +76,7 @@ pub fn bfs_parallel(g: &Csr, src: u32) -> Vec<u32> {
 
 /// Dijkstra single-source shortest paths (weights required).
 pub fn sssp(g: &Csr, src: u32) -> Vec<u32> {
+    // lint: allow(L-PANIC): documented precondition — weighted algorithms take weighted graphs
     let w = g.weights.as_ref().expect("SSSP needs weights");
     let mut dist = vec![INF; g.n()];
     let mut heap = BinaryHeap::new();
@@ -100,6 +101,7 @@ pub fn sssp(g: &Csr, src: u32) -> Vec<u32> {
 
 /// Single-source widest path: maximize the minimum edge weight along a path.
 pub fn sswp(g: &Csr, src: u32) -> Vec<u32> {
+    // lint: allow(L-PANIC): documented precondition — weighted algorithms take weighted graphs
     let w = g.weights.as_ref().expect("SSWP needs weights");
     let mut width = vec![0u32; g.n()];
     let mut heap = BinaryHeap::new();

@@ -1,0 +1,174 @@
+//! The committed suppression baseline (`lint.allow` at the workspace root).
+//!
+//! Pre-existing accepted sites are explicit: each entry names the rule, the
+//! file, and the *exact trimmed source line* it suppresses. Keying on line
+//! text instead of line numbers keeps entries stable across unrelated edits
+//! to the same file; when the flagged line itself changes or disappears,
+//! the entry stops matching anything and becomes a **staleness error** —
+//! the baseline can only ever shrink by deleting entries alongside fixes,
+//! never rot silently.
+//!
+//! Format, one entry per line, tab-separated (`#` comments and blank lines
+//! ignored):
+//!
+//! ```text
+//! RULE-ID<TAB>workspace/relative/path.rs<TAB>exact trimmed source line
+//! ```
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One parsed suppression entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub line_text: String,
+}
+
+impl BaselineEntry {
+    pub fn display(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.path, self.line_text)
+    }
+}
+
+/// A parse failure with its 1-based line in `lint.allow`.
+#[derive(Debug)]
+pub struct BaselineError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Parses `lint.allow` content. Malformed lines are hard errors: a baseline
+/// that silently drops entries would un-suppress (or worse, keep
+/// suppressing) the wrong findings.
+pub fn parse(content: &str) -> Result<Vec<BaselineEntry>, BaselineError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = raw.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(text)) if !rule.is_empty() && !path.is_empty() => {
+                entries.push(BaselineEntry {
+                    rule: rule.trim().to_string(),
+                    path: path.trim().to_string(),
+                    line_text: text.trim().to_string(),
+                });
+            }
+            _ => {
+                return Err(BaselineError {
+                    line: idx as u32 + 1,
+                    message: format!(
+                        "malformed baseline entry (want RULE<TAB>path<TAB>source line): {raw:?}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// The result of applying a baseline to raw findings.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by any entry — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Count of findings suppressed by the baseline.
+    pub suppressed: usize,
+    /// Entries that suppressed nothing — each is a staleness error.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Splits findings into new vs baselined, and detects stale entries.
+/// `source_line` maps a finding to its trimmed source-line text.
+pub fn apply<F>(findings: Vec<Finding>, entries: &[BaselineEntry], source_line: F) -> Applied
+where
+    F: Fn(&Finding) -> String,
+{
+    let mut used: BTreeMap<usize, usize> = BTreeMap::new(); // entry idx -> hits
+    let mut out = Applied::default();
+    for f in findings {
+        let text = source_line(&f);
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.path == f.path && e.line_text == text);
+        match hit {
+            Some(idx) => {
+                *used.entry(idx).or_insert(0) += 1;
+                out.suppressed += 1;
+            }
+            None => out.new.push(f),
+        }
+    }
+    for (idx, e) in entries.iter().enumerate() {
+        if !used.contains_key(&idx) {
+            out.stale.push(e.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_comments() {
+        let src = "# header\n\nL-PANIC\tcrates/x/src/lib.rs\tfoo.unwrap();\n";
+        let e = parse(src).expect("parses");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, "L-PANIC");
+        assert_eq!(e[0].line_text, "foo.unwrap();");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let err = parse("L-PANIC only-two-fields\n").expect_err("rejects");
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("malformed"));
+    }
+
+    #[test]
+    fn apply_splits_and_detects_stale() {
+        let entries =
+            parse("L-PANIC\ta.rs\tfoo.unwrap();\nL-PANIC\ta.rs\tgone.unwrap();\n").expect("parses");
+        let found = vec![finding("L-PANIC", "a.rs", 3), finding("L-PANIC", "a.rs", 9)];
+        let applied = apply(found, &entries, |f| {
+            if f.line == 3 {
+                "foo.unwrap();".into()
+            } else {
+                "other.unwrap();".into()
+            }
+        });
+        assert_eq!(applied.suppressed, 1);
+        assert_eq!(applied.new.len(), 1);
+        assert_eq!(applied.new[0].line, 9);
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].line_text, "gone.unwrap();");
+    }
+
+    #[test]
+    fn one_entry_covers_repeated_identical_lines() {
+        let entries = parse("L-CAST-TRUNC\ta.rs\tlet k = v.len() as u32;\n").expect("parses");
+        let found = vec![
+            finding("L-CAST-TRUNC", "a.rs", 3),
+            finding("L-CAST-TRUNC", "a.rs", 30),
+        ];
+        let applied = apply(found, &entries, |_| "let k = v.len() as u32;".into());
+        assert_eq!(applied.suppressed, 2);
+        assert!(applied.new.is_empty());
+        assert!(applied.stale.is_empty());
+    }
+}

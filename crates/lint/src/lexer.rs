@@ -1,0 +1,467 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The workspace builds hermetically — there is no `syn` in `vendor/` — so
+//! the rule engine works on a hand-rolled token stream instead of a real
+//! AST. The lexer's one job is to be *exactly right* about what is code and
+//! what is not: a `HashMap` inside a string literal, a `unwrap()` inside a
+//! nested block comment, and a `'a` lifetime that looks like the start of a
+//! char literal must all come out the other side correctly classified,
+//! because every rule downstream trusts the token kinds blindly.
+//!
+//! Comments are not emitted as tokens, but they are scanned for inline
+//! suppression directives (`lint: allow(RULE-ID): justification`), which
+//! [`lex`] returns alongside the token stream.
+
+/// What a token is. Literal *contents* are never matched by rules — only
+/// idents and punctuation drive the rule engine — but literals still occupy
+/// a token slot so adjacency patterns cannot match across them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, `r#match`).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// String literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##`.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'\''`.
+    Char,
+    /// Lifetime: `'a`, `'_`, `'static`.
+    Lifetime,
+    /// Numeric literal, including suffixes (`0x1Fu64`, `1.5e3`).
+    Num,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// An inline suppression found in a comment: `lint: allow(L-PANIC): why`.
+///
+/// A directive without a justification after the rule id is recorded with
+/// `justified = false`; it does not suppress anything (the engine reports
+/// it as its own finding instead), so every accepted site carries a reason.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    pub rule: String,
+    pub justified: bool,
+}
+
+/// Lexer output: the token stream plus any inline allow directives.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source. Never fails: unterminated literals or comments
+/// simply end at EOF (the rustc build gate reports those properly; the
+/// linter's contract is only to not misclassify what follows valid code).
+pub fn lex(text: &str) -> LexOutput {
+    Lexer {
+        chars: text.chars().collect(),
+        i: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advances one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b — a byte literal is always a char, never a lifetime
+                    self.tick();
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string_or_ident(false);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) => {
+                    self.bump(); // r
+                    self.raw_string_or_ident(true);
+                }
+                '\'' => self.tick(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        self.scan_directive(&body, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let mut body = String::new();
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                body.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                body.push_str("*/");
+            } else {
+                body.push(c);
+                self.bump();
+            }
+        }
+        self.scan_directive(&body, start_line);
+    }
+
+    /// Parses `lint: allow(RULE): justification` out of a comment body.
+    fn scan_directive(&mut self, body: &str, line: u32) {
+        const MARKER: &str = "lint: allow(";
+        let Some(at) = body.find(MARKER) else {
+            return;
+        };
+        let rest = &body[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            return;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        // Justification: a `:` followed by non-empty prose.
+        let justified = tail
+            .strip_prefix(':')
+            .map(|t| t.trim().len() >= 3)
+            .unwrap_or(false);
+        self.out.allows.push(AllowDirective {
+            line,
+            rule,
+            justified,
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// After `r` (and optionally `b`) was consumed: either a raw string
+    /// (`r"…"`, `r#"…"#`, any hash count) or a raw identifier (`r#match`).
+    /// `ident_ok` is false after `br`, which can only start a raw string.
+    fn raw_string_or_ident(&mut self, ident_ok: bool) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..=hashes {
+                    self.bump(); // hashes + opening quote
+                }
+                // Scan for `"` followed by exactly `hashes` hashes.
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        for k in 0..hashes {
+                            if self.peek(k) != Some('#') {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, String::new(), line);
+            }
+            _ if ident_ok && hashes == 1 => {
+                // Raw identifier: consume `#` then the ident; the token text
+                // is the bare name so rules see `r#move` as `move`.
+                self.bump();
+                self.ident();
+            }
+            _ => {
+                // A stray `r#` with nothing valid after it: emit what we
+                // swallowed as punct and continue.
+                for _ in 0..hashes {
+                    self.bump();
+                    self.push(TokKind::Punct, "#".into(), line);
+                }
+            }
+        }
+    }
+
+    /// `'` starts either a lifetime or a char literal. A backslash after
+    /// the tick is always a char literal; `'x'` (any single char, then a
+    /// closing tick) is a char literal; everything else is a lifetime.
+    fn tick(&mut self) {
+        let line = self.line;
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => {
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char ('u' of \u{…}, or the char itself)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            (Some(_), Some('\'')) => {
+                self.bump(); // '
+                self.bump(); // the char
+                self.bump(); // closing '
+                self.push(TokKind::Char, String::new(), line);
+            }
+            _ => {
+                self.bump(); // '
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, name, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                // Covers digits, hex digits, suffixes (u32), exponents (e3).
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).map(|d| d.is_ascii_digit()) == Some(true) {
+                // A float's decimal point — but never swallow `..` ranges.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let x = "HashMap unwrap()"; call(x);"##;
+        assert_eq!(idents(src), ["let", "x", "call", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = "let p = r#\"thread_rng() \" still inside\"#; let q = r\"Instant\"; after();";
+        assert_eq!(idents(src), ["let", "p", "let", "q", "after"]);
+        // Double-hash raw strings can hold single-hash terminators.
+        let src2 = "let z = r##\"contains \"# HashMap\"##; tail();";
+        assert_eq!(idents(src2), ["let", "z", "tail"]);
+        // Raw *byte* strings too.
+        let src3 = "let b = br#\"SystemTime\"#; done();";
+        assert_eq!(idents(src3), ["let", "b", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped_entirely() {
+        let src = "before(); /* outer /* inner unwrap() */ still comment HashMap */ after();";
+        assert_eq!(idents(src), ["before", "after"]);
+    }
+
+    #[test]
+    fn line_comments_end_at_newline() {
+        let src = "a(); // unwrap() HashMap\nb();";
+        assert_eq!(idents(src), ["a", "b"]);
+        let toks = lex(src).toks;
+        assert_eq!(toks.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn char_vs_lifetime_ticks() {
+        // 'a' is a char; 'a (no closing tick) is a lifetime; '\'' escapes.
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }";
+        let toks = lex(src).toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        // The idents on either side survive.
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let src = "let c = '\\u{1F600}'; next();";
+        assert_eq!(idents(src), ["let", "c", "next"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let src = "let r#match = 1; use_it(r#match);";
+        assert_eq!(idents(src), ["let", "match", "use_it", "match"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..10 { x(1.5e3, 0xFFu64); }";
+        let toks = lex(src).toks;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e3", "0xFFu64"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nmarker();";
+        let toks = lex(src).toks;
+        let marker = toks.iter().find(|t| t.is_ident("marker"));
+        assert_eq!(marker.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn allow_directives_are_collected_with_justification_state() {
+        let src = "x(); // lint: allow(L-PANIC): held lock cannot be poisoned\n\
+                   y(); // lint: allow(L-DET-HASH)\n\
+                   z(); // lint: allow(L-CAST-TRUNC):\n";
+        let out = lex(src);
+        assert_eq!(out.allows.len(), 3);
+        assert_eq!(out.allows[0].rule, "L-PANIC");
+        assert!(out.allows[0].justified);
+        assert_eq!(out.allows[0].line, 1);
+        assert!(!out.allows[1].justified, "missing justification");
+        assert!(!out.allows[2].justified, "empty justification");
+    }
+}

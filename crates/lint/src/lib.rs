@@ -1,0 +1,264 @@
+//! `eta-lint` — the workspace-wide static invariant checker.
+//!
+//! Every CI gate in this repository — byte-identical chaos reruns,
+//! deterministic prof/serve/faults artifacts, panic-free library crates —
+//! rests on invariants that were previously enforced only by convention
+//! and by *dynamic* checks in the sanitizer (which only sees executed
+//! paths). This crate checks them statically, on every line of every
+//! kernel and library crate, executed or not.
+//!
+//! The pipeline: a comment/string/raw-string-aware [`lexer`], structural
+//! [`regions`] (test items, function bodies, `WarpCtx` kernel scopes), a
+//! token-pattern rule engine ([`rules`], seven rules — see
+//! [`rules::RULES`]), the committed suppression [`baseline`]
+//! (`lint.allow`), and deterministic text/JSON [`report`] sinks.
+//!
+//! Run it as `etagraph lint`, or regenerate the committed artifact with
+//! `cargo run --release -p eta-bench --bin report -- lint --out reports`.
+//! Suppress a single accepted site inline with a justified comment:
+//!
+//! ```text
+//! let g = guard.lock().unwrap(); // lint: allow(L-PANIC): poisoning aborts anyway
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod regions;
+pub mod report;
+pub mod rules;
+
+pub use baseline::BaselineEntry;
+pub use report::LintReport;
+pub use rules::{FileClass, Finding, RuleMeta, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// A lint *run* failure (I/O, malformed baseline) — distinct from findings,
+/// which are data.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints a single source text as if it lived at `path` (workspace-relative,
+/// forward slashes). Inline `lint: allow` directives are applied; the
+/// baseline is not. Returns findings paired with their trimmed source
+/// lines. This is the entry point fixtures and tests use.
+pub fn lint_source(path: &str, text: &str) -> Vec<(Finding, String)> {
+    let lexed = lexer::lex(text);
+    let regs = regions::compute(&lexed.toks);
+    let class = FileClass::of(path);
+    let raw = rules::scan(path, class, &lexed.toks, &regs);
+    let lines: Vec<&str> = text.lines().collect();
+    let source_of = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    for f in raw {
+        // A justified inline directive on the finding's line (or the line
+        // above it) suppresses; an unjustified one does not.
+        let allowed = lexed
+            .allows
+            .iter()
+            .any(|a| a.justified && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        if !allowed {
+            let src = source_of(f.line);
+            out.push((f, src));
+        }
+    }
+    out
+}
+
+/// Counts how many findings in `text` were suppressed by justified inline
+/// directives (for report accounting).
+fn inline_allowed_count(path: &str, text: &str) -> usize {
+    let lexed = lexer::lex(text);
+    let regs = regions::compute(&lexed.toks);
+    let class = FileClass::of(path);
+    let raw = rules::scan(path, class, &lexed.toks, &regs);
+    raw.iter()
+        .filter(|f| {
+            lexed.allows.iter().any(|a| {
+                a.justified && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line)
+            })
+        })
+        .count()
+}
+
+/// True for paths the workspace scan covers: Rust sources of the member
+/// crates plus the root package's `src/`. Test/bench/example/fixture code
+/// is exempt by design — the invariants protect shipped library code.
+fn scannable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    let exempt = ["/tests/", "/benches/", "/examples/", "/fixtures/"];
+    if exempt.iter().any(|e| rel.contains(e)) {
+        return false;
+    }
+    rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"))
+}
+
+/// Recursively collects scannable sources under `root`, sorted by relative
+/// path so the report is deterministic.
+fn collect_files(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) if !dir.exists() => continue,
+            Err(e) => return Err(LintError(format!("reading {}: {e}", dir.display()))),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError(format!("reading {}: {e}", dir.display())))?;
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if let Ok(rel) = p.strip_prefix(root) {
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                if scannable(&rel) {
+                    out.push((rel, p));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`, applying `lint.allow` when
+/// present. The returned report is sorted and deterministic.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let baseline_path = root.join("lint.allow");
+    let entries = if baseline_path.exists() {
+        let content = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| LintError(format!("reading lint.allow: {e}")))?;
+        baseline::parse(&content)
+            .map_err(|e| LintError(format!("lint.allow line {}: {}", e.line, e.message)))?
+    } else {
+        Vec::new()
+    };
+
+    let files = collect_files(root)?;
+    if files.is_empty() {
+        // A gate that scanned nothing would pass vacuously — treat it as a
+        // misconfigured root instead.
+        return Err(LintError(format!(
+            "no Rust sources found under {} — wrong root?",
+            root.display()
+        )));
+    }
+    let mut all: Vec<(Finding, String)> = Vec::new();
+    let mut inline_allowed = 0usize;
+    for (rel, abs) in &files {
+        let text =
+            std::fs::read_to_string(abs).map_err(|e| LintError(format!("reading {rel}: {e}")))?;
+        inline_allowed += inline_allowed_count(rel, &text);
+        all.extend(lint_source(rel, &text));
+    }
+
+    // Baseline application keys on the finding's trimmed source line.
+    let sources: std::collections::BTreeMap<(String, u32, String), String> = all
+        .iter()
+        .map(|(f, s)| ((f.path.clone(), f.line, f.rule.to_string()), s.clone()))
+        .collect();
+    let findings: Vec<Finding> = all.into_iter().map(|(f, _)| f).collect();
+    let applied = baseline::apply(findings, &entries, |f| {
+        sources
+            .get(&(f.path.clone(), f.line, f.rule.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    });
+
+    let source_lines: Vec<String> = applied
+        .new
+        .iter()
+        .map(|f| {
+            sources
+                .get(&(f.path.clone(), f.line, f.rule.to_string()))
+                .cloned()
+                .unwrap_or_default()
+        })
+        .collect();
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        findings: applied.new,
+        baselined: applied.suppressed,
+        inline_allowed,
+        unjustified_allows: 0,
+        stale_baseline: applied.stale,
+        source_lines,
+    };
+    report.sort();
+    Ok(report)
+}
+
+/// Ascends from `start` to the workspace root (the directory holding the
+/// `crates/` tree). Lets `etagraph lint` work from any subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scannable_paths() {
+        assert!(scannable("crates/core/src/kernels.rs"));
+        assert!(scannable("crates/bench/src/bin/report.rs"));
+        assert!(scannable("src/lib.rs"));
+        assert!(!scannable("crates/lint/tests/fixtures/bad.rs"));
+        assert!(!scannable("tests/serve.rs"));
+        assert!(!scannable("crates/bench/benches/x.rs"));
+        assert!(!scannable("crates/core/src/kernels.txt"));
+        assert!(!scannable("vendor/serde/src/lib.rs"));
+    }
+
+    #[test]
+    fn inline_allow_suppresses_only_with_justification() {
+        let bad = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        assert_eq!(lint_source("crates/graph/src/io.rs", bad).len(), 1);
+        let justified =
+            "fn f(o: Option<u32>) -> u32 {\n    // lint: allow(L-PANIC): checked two lines up\n    o.unwrap()\n}";
+        assert!(lint_source("crates/graph/src/io.rs", justified).is_empty());
+        let trailing =
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint: allow(L-PANIC): bounded by caller";
+        assert!(lint_source("crates/graph/src/io.rs", trailing).is_empty());
+        let bare = "fn f(o: Option<u32>) -> u32 {\n    // lint: allow(L-PANIC)\n    o.unwrap()\n}";
+        assert_eq!(
+            lint_source("crates/graph/src/io.rs", bare).len(),
+            1,
+            "unjustified directives do not suppress"
+        );
+        let wrong_rule = "fn f(o: Option<u32>) -> u32 {\n    // lint: allow(L-DET-HASH): nope\n    o.unwrap()\n}";
+        assert_eq!(lint_source("crates/graph/src/io.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn findings_carry_their_source_line() {
+        let bad = "fn f(v: &[u32]) -> u32 {\n    v.len() as u32\n}";
+        let hits = lint_source("crates/graph/src/csr.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "v.len() as u32");
+        assert_eq!(hits[0].0.line, 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: lossy id-width cast (L-CAST-TRUNC).
+//! The violation is on line 5.
+
+pub fn vertex_count(col_idx: &[u32]) -> u32 {
+    let n = col_idx.len() as u32;
+    n.saturating_add(1)
+}
+
+pub fn widening_is_fine(col_idx: &[u32]) -> u64 {
+    col_idx.len() as u64
+}

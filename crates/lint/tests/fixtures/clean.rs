@@ -1,0 +1,51 @@
+//! A fixture with zero findings — every rule's trigger word appears here,
+//! but only in positions the lexer and region tracker must ignore:
+//! strings, raw strings, comments, test regions, and non-matching shapes.
+
+// HashMap unwrap() Instant thread_rng — comment text never matches.
+
+/* Nested /* block comments: w.store(self.labels, x) panic!("no") */ ok. */
+
+pub const DOC: &str = "HashMap and SystemTime and labels[i] in a string";
+pub const RAW: &str = r#"thread_rng() and .unwrap() stay "inside" here"#;
+pub const RAW2: &str = r##"even a "# terminator: DefaultHasher"##;
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    let _tick: char = 'x';
+    let _escaped: char = '\'';
+    s
+}
+
+pub fn fallible(v: &[u32]) -> Option<u32> {
+    // unwrap_or / unwrap_or_else are not panics.
+    Some(v.first().copied().unwrap_or(0))
+}
+
+pub fn widened(v: &[u32]) -> u64 {
+    v.len() as u64
+}
+
+pub struct Meta {
+    pub len: u32,
+}
+
+impl Meta {
+    pub fn field_cast(&self) -> u64 {
+        // A field named `len` is not a `len()` call.
+        self.len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let mut m = HashMap::new();
+        m.insert("k", 1u32);
+        assert_eq!(m.get("k").copied().unwrap(), 1);
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: HashMap in an output-path crate (L-DET-HASH).
+//! The violation is on line 4 (the `use` line).
+
+use std::collections::HashMap;
+
+pub fn summarize(items: &[(String, u64)]) -> Vec<String> {
+    let mut by_name: std::collections::BTreeMap<&str, u64> = Default::default();
+    for (k, v) in items {
+        *by_name.entry(k.as_str()).or_insert(0) += v;
+    }
+    by_name.iter().map(|(k, v)| format!("{k}={v}")).collect()
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: nondeterministically seeded hasher (L-DET-RAND).
+//! The violation is on line 6.
+
+pub fn unstable_fingerprint(s: &str) -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write(s.as_bytes());
+    h.finish()
+}

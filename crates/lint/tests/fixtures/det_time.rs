@@ -1,0 +1,9 @@
+//! Seeded violation: host wall clock outside the allowlisted module
+//! (L-DET-TIME). The violation is on line 5.
+
+pub fn stamp() -> u128 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}

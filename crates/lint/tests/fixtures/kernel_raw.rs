@@ -1,0 +1,17 @@
+//! Seeded violations: raw kernel buffer access (L-KERNEL-RAW).
+//!
+//! Line 10 re-introduces the exact PR 1 pull-BFS bug: a plain `store` to
+//! the cross-warp-visible `labels` buffer, which races when two warps
+//! claim the same vertex in one iteration. Line 13 indexes a device
+//! buffer directly, bypassing the instrumented accessors.
+
+impl PullBfsKernel {
+    fn run(&self, w: &mut WarpCtx<'_>, tids: &[u32], levels: &[u32], found: &[bool]) {
+        w.store(self.labels, &tids, &levels, found);
+        let mut degs = [0u32; 32];
+        for (i, &t) in tids.iter().enumerate() {
+            degs[i] = self.row_offsets[t as usize + 1] - self.row_offsets[t as usize];
+        }
+        let _ = degs;
+    }
+}

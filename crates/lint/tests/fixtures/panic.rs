@@ -1,0 +1,17 @@
+//! Seeded violation: unwrap in non-test library code (L-PANIC).
+//! The violation is on line 6.
+
+pub fn head(v: &[u32]) -> u32 {
+    let first = v.first();
+    *first.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::head(&[7]), 7);
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

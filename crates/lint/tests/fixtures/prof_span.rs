@@ -1,0 +1,10 @@
+//! Seeded violation: profiler span leaked by an early exit (L-PROF-SPAN).
+//! The `?` on line 7 can leave the span opened on line 6 unclosed.
+
+pub fn traced_step(p: &mut Profiler, dev: &mut Device) -> Result<u32, SimError> {
+    let t0 = dev.now();
+    p.begin(Track::Kernel, "relax", t0);
+    let processed = dev.launch()?;
+    p.end(dev.now());
+    Ok(processed)
+}
