@@ -50,4 +50,25 @@ mv "$PROFILE_OUT/chaos.json" "$PROFILE_OUT/chaos.first.json"
 cargo run --release -p eta-bench --bin report -- chaos --quick --out "$PROFILE_OUT" >/dev/null
 cmp "$PROFILE_OUT/chaos.first.json" "$PROFILE_OUT/chaos.json"
 
+echo "==> report shard smoke run (quick suite, twice, byte-identical)"
+cargo run --release -p eta-bench --bin report -- shard --quick --out "$PROFILE_OUT" >/dev/null
+grep -q "0 mismatches" "$PROFILE_OUT/shard.txt"
+mv "$PROFILE_OUT/shard.json" "$PROFILE_OUT/shard.first.json"
+cargo run --release -p eta-bench --bin report -- shard --quick --out "$PROFILE_OUT" >/dev/null
+cmp "$PROFILE_OUT/shard.first.json" "$PROFILE_OUT/shard.json"
+
+echo "==> sharded-vs-single differential (CLI label digests must match)"
+cargo run --release -p eta-cli -- generate rmat --scale 10 --edges 30000 \
+    --max-weight 64 --seed 7 --out "$PROFILE_OUT/g.etag" >/dev/null
+for alg in bfs sssp; do
+    single="$(cargo run --release -p eta-cli -- run "$PROFILE_OUT/g.etag" \
+        --alg "$alg" | grep 'labels digest')"
+    sharded="$(cargo run --release -p eta-cli -- run "$PROFILE_OUT/g.etag" \
+        --alg "$alg" --devices 2 | grep 'labels digest')"
+    if [ "$single" != "$sharded" ]; then
+        echo "ci: $alg digest diverges under sharding: $single vs $sharded" >&2
+        exit 1
+    fi
+done
+
 echo "ci: all gates passed"

@@ -1,0 +1,167 @@
+//! `bench_shard`: the host-side perf baseline behind `BENCH_shard.json`.
+//!
+//! Every committed report artifact is a function of the *simulated* clock;
+//! this binary is the counterpart that guards **host wall-clock speed** —
+//! the ROADMAP's "committed perf trajectory" item. It times the sharded BSP
+//! engine end-to-end on the quick-suite Table V graphs (single-device
+//! baseline, then 2- and 4-device groups, BFS plus 4-device PageRank),
+//! takes the best of `REPS` repetitions, and rewrites `BENCH_shard.json`
+//! at the repository root.
+//!
+//! The file is a *trajectory*: entries are appended (never edited) so a
+//! regression shows up as the newest entry being slower than its
+//! predecessors on the same workload. Wall time is inherently
+//! machine-dependent — compare entries recorded on the same machine, and
+//! read `edges_per_sec_host` (graph edges / host seconds for one full
+//! traversal) as the portable-ish throughput figure.
+//!
+//!     cargo run --release -p eta-bench --bin bench_shard -- [--label NAME]
+//!
+//! Keep runs in release mode; debug is 10-50x slower through the simulator.
+
+use eta_bench::hosttime::Stopwatch;
+use eta_bench::{shard, suite};
+use eta_mem::PeerFabric;
+use eta_shard::GraphPartition;
+use eta_sim::{Device, GpuConfig};
+use etagraph::pagerank::{self, PageRankConfig};
+use etagraph::sharded::{run_sharded, run_sharded_pagerank};
+use etagraph::{engine, Algorithm, EtaConfig, UdcMode};
+use serde_json::{json, Value};
+
+/// Repetitions per configuration; the entry records the fastest.
+const REPS: usize = 2;
+
+fn cfg() -> EtaConfig {
+    EtaConfig {
+        udc: UdcMode::InCore,
+        direction_optimizing: false,
+        ..EtaConfig::paper()
+    }
+}
+
+/// Times `f` REPS times and returns the best wall seconds.
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sw = Stopwatch::started();
+        f();
+        best = best.min(sw.elapsed_secs());
+    }
+    best
+}
+
+fn run_config(name: &'static str, alg_name: &str, devices: u32) -> Value {
+    let g = suite::graph_for(name, Algorithm::Bfs);
+    let m = g.m() as f64;
+    let cfg = cfg();
+    let source = suite::dataset(name).source;
+    let wall = if alg_name == "pagerank" {
+        let pr = PageRankConfig {
+            eta: cfg,
+            ..PageRankConfig::default()
+        };
+        if devices == 1 {
+            best_of(|| {
+                let mut dev = Device::new(GpuConfig::default_preset());
+                // lint: allow(L-PANIC): quick-suite graphs fit; an OOM is a bench bug
+                pagerank::run(&mut dev, &g, &pr).expect("pagerank");
+            })
+        } else {
+            let part = GraphPartition::vertex_range(&g, devices);
+            best_of(|| {
+                let mut devs: Vec<Device> = (0..devices)
+                    .map(|_| Device::new(GpuConfig::default_preset()))
+                    .collect();
+                let mut fabric = PeerFabric::nvlink(devices);
+                run_sharded_pagerank(&mut devs, &mut fabric, &part, &g, &pr)
+                    // lint: allow(L-PANIC): no faults are injected; an error is a bench bug
+                    .expect("sharded pagerank");
+            })
+        }
+    } else if devices == 1 {
+        best_of(|| {
+            let mut dev = Device::new(GpuConfig::default_preset());
+            // lint: allow(L-PANIC): quick-suite graphs fit; an OOM is a bench bug
+            engine::run(&mut dev, &g, source, Algorithm::Bfs, &cfg).expect("bfs");
+        })
+    } else {
+        let part = GraphPartition::vertex_range(&g, devices);
+        best_of(|| {
+            let mut devs: Vec<Device> = (0..devices)
+                .map(|_| Device::new(GpuConfig::default_preset()))
+                .collect();
+            let mut fabric = PeerFabric::nvlink(devices);
+            run_sharded(&mut devs, &mut fabric, &part, source, Algorithm::Bfs, &cfg)
+                // lint: allow(L-PANIC): no faults are injected; an error is a bench bug
+                .expect("sharded bfs");
+        })
+    };
+    eprintln!("  {name} {alg_name} x{devices}: {wall:.3}s host");
+    json!({
+        "dataset": name,
+        "algorithm": alg_name,
+        "devices": devices,
+        "host_seconds": wall,
+        "edges_per_sec_host": m / wall,
+    })
+}
+
+fn main() {
+    let label = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--label")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "unlabeled".into())
+    };
+    let total = Stopwatch::started();
+    let mut runs = Vec::new();
+    for name in shard::graphs_for(suite::Suite::Quick) {
+        for (alg, devices) in [("bfs", 1), ("bfs", 2), ("bfs", 4), ("pagerank", 4)] {
+            runs.push(run_config(name, alg, devices));
+        }
+    }
+    let entry = json!({
+        "schema": "eta-bench-trajectory-v1",
+        "bench": "shard",
+        "label": label,
+        "suite": "quick",
+        "reps": REPS,
+        "wall_seconds_total": total.elapsed_secs(),
+        "runs": runs,
+    });
+    // lint: allow(L-PANIC): serializing a just-built Value cannot fail
+    let rendered = serde_json::to_string_pretty(&entry).expect("render entry");
+    // Indent the entry one level so it nests inside the top-level array.
+    let indented: String = rendered
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    // The trajectory is a top-level JSON array, append-only. The vendored
+    // serde_json shim is emit-only (no parser), so appending is textual:
+    // strip the closing bracket, splice the new entry, close again.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    let doc = match std::fs::read_to_string(path) {
+        Ok(prior) => {
+            let trimmed = prior.trim_end();
+            let Some(body) = trimmed.strip_suffix(']') else {
+                eprintln!("error: {path} is not a JSON array; refusing to append");
+                std::process::exit(2);
+            };
+            let body = body.trim_end().trim_end_matches(',');
+            let sep = if body.trim_end().ends_with('[') {
+                "\n"
+            } else {
+                ",\n"
+            };
+            format!("{body}{sep}{indented}\n]\n")
+        }
+        Err(_) => format!("[\n{indented}\n]\n"),
+    };
+    // lint: allow(L-PANIC): writing the trajectory is this binary's whole job
+    std::fs::write(path, doc).expect("write BENCH_shard.json");
+    eprintln!("wrote {} ({:.1}s total)", path, total.elapsed_secs());
+}

@@ -23,7 +23,8 @@ use eta_fault::{FaultPlan, HangFault};
 use eta_graph::generate::{rmat, RmatConfig};
 use eta_graph::reference;
 use eta_serve::{
-    poisson_trace, GraphRegistry, Request, ServeConfig, ServeReport, Service, WorkloadConfig,
+    poisson_trace, GraphRegistry, GroupConfig, GroupService, Request, ServeConfig, ServeReport,
+    Service, WorkloadConfig,
 };
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -234,6 +235,50 @@ pub fn chaos(suite: Suite) -> Artifact {
         }
     }
 
+    // Device-group drill: the same tenants served by 2-member *groups*
+    // (sharded traversal) from a 3-device pool, with one member hanging
+    // permanently mid-query. Per-launch fault installation re-arms the
+    // window every attempt, so recovery cannot come from waiting the fault
+    // out — the ladder must quarantine the member and regroup the query on
+    // the remaining healthy pair, resuming from its group-shape-agnostic
+    // snapshot. Differentially verified like every other cell.
+    let group_plan = FaultPlan {
+        hangs: vec![HangFault {
+            device: 1,
+            start_ns: 0,
+            end_ns: u64::MAX,
+            budget_ns: 40_000,
+        }],
+        ..FaultPlan::default()
+    };
+    let group_trace = poisson_trace(
+        &registry,
+        &names,
+        &WorkloadConfig {
+            requests: 12,
+            seed: 9,
+            ..workload.clone()
+        },
+    );
+    let group_report = GroupService::new(
+        &mut registry,
+        GroupConfig {
+            devices: 3,
+            group_size: 2,
+            faults: group_plan,
+            checkpoint_interval: 2,
+            ..GroupConfig::default()
+        },
+    )
+    .run(&group_trace);
+    let group_verification = verify(&registry, &group_trace, &group_report, &mut memo);
+    let regrouped = group_report
+        .groups
+        .iter()
+        .filter(|g| g.devices != vec![0, 1])
+        .map(|g| g.queries)
+        .sum::<u32>();
+
     // The tradeoff curve: per interval, mean makespan and total recovery
     // traffic across every seeded plan. Restart-from-scratch is the
     // interval-0 row; the others show what snapshot overhead buys back.
@@ -321,10 +366,29 @@ pub fn chaos(suite: Suite) -> Artifact {
         ],
         &curve_rows,
     ));
-    let total_lost: usize = cells.iter().map(|c| c.verification.lost.len()).sum();
-    let total_wrong: usize = cells.iter().map(|c| c.verification.wrong.len()).sum();
     body.push_str(&format!(
-        "\nverification: {} cells, {} lost, {} wrong (every completed answer checked against the CPU reference)\n",
+        "\ndevice-group drill (3-device pool, groups of 2, member 1 permanently hung):\n\
+         {} queries: {} completed, {} degraded, {} quarantine(s), \
+         {} resume(s), {} served on a regrouped set\n",
+        group_trace.len(),
+        group_report.completed,
+        group_report.degraded,
+        group_report.quarantines.len(),
+        group_report.resumes,
+        regrouped,
+    ));
+    let total_lost: usize = cells
+        .iter()
+        .map(|c| c.verification.lost.len())
+        .sum::<usize>()
+        + group_verification.lost.len();
+    let total_wrong: usize = cells
+        .iter()
+        .map(|c| c.verification.wrong.len())
+        .sum::<usize>()
+        + group_verification.wrong.len();
+    body.push_str(&format!(
+        "\nverification: {} cells + the group drill, {} lost, {} wrong (every completed answer checked against the CPU reference)\n",
         cells.len(),
         total_lost,
         total_wrong
@@ -368,6 +432,19 @@ pub fn chaos(suite: Suite) -> Artifact {
             "horizon_ns": horizon,
             "cells": cell_json,
             "curve": curve,
+            "group_drill": {
+                "queries": group_trace.len(),
+                "completed": group_report.completed,
+                "degraded": group_report.degraded,
+                "quarantines": group_report.quarantines.len(),
+                "checkpoints": group_report.checkpoints,
+                "resumes": group_report.resumes,
+                "migrations": group_report.migrations,
+                "regrouped_queries": regrouped,
+                "groups": group_report.groups,
+                "lost": group_verification.lost,
+                "wrong": group_verification.wrong,
+            },
             "verification": { "lost": total_lost, "wrong": total_wrong },
             "failures": failures,
         }),
@@ -402,6 +479,16 @@ mod tests {
         assert_eq!(zero["interval"], 0);
         assert_eq!(zero["checkpoints"], 0);
         assert_eq!(zero["resumes"], 0);
+        // The group drill: every query completes on devices (no CPU
+        // fallback) despite the permanently hung member, the member is
+        // quarantined, and at least one query finishes on a regrouped set.
+        let g = &a.json["group_drill"];
+        assert_eq!(g["completed"], g["queries"], "group drill: 0 lost");
+        assert_eq!(g["degraded"], 0, "answered on devices, not the CPU");
+        assert!(g["quarantines"].as_u64().unwrap() >= 1);
+        assert!(g["regrouped_queries"].as_u64().unwrap() >= 1);
+        assert!(g["lost"].as_array().unwrap().is_empty());
+        assert!(g["wrong"].as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod lint_report;
 pub mod profile_report;
 pub mod sanitize;
 pub mod serve_report;
+pub mod shard;
 pub mod stats;
 pub mod suite;
 pub mod tables;

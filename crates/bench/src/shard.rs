@@ -1,0 +1,256 @@
+//! The `shard` artifact: multi-device sharded traversal scaling on the
+//! Table V graphs.
+//!
+//! For each graph and each of BFS/SSSP/SSWP/PageRank, the same query runs
+//! on one device (the plain engine) and on 2- and 4-device groups
+//! (`etagraph::sharded` over an NVLink-modeled `PeerFabric`). The report
+//! shows simulated-time scaling plus the exchange volume the BSP frontier
+//! merge moved per superstep — and, load-bearing for the whole subsystem,
+//! a byte-identity count: every sharded label/rank vector must match the
+//! single-device run exactly (`0 mismatches`), which is what makes the
+//! speedup column a comparison of *the same answer*.
+//!
+//! The single-device baseline uses the sharded loop's normalized config
+//! (in-core UDC, push-only) so the column measures device parallelism and
+//! halo traffic, not unrelated single-device tricks the BSP loop forgoes.
+
+use crate::suite::{self, Suite};
+use crate::tables::Artifact;
+use crate::text;
+use eta_mem::PeerFabric;
+use eta_shard::GraphPartition;
+use eta_sim::{Device, GpuConfig};
+use etagraph::pagerank::{self, PageRankConfig};
+use etagraph::sharded::{run_sharded, run_sharded_pagerank};
+use etagraph::{engine, Algorithm, EtaConfig, UdcMode};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Device counts of the scaling sweep; the first entry is the baseline.
+pub const GROUP_SIZES: [u32; 2] = [2, 4];
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// One (graph, algorithm) cell of the sweep.
+struct Cell {
+    single_ns: u64,
+    /// Per group size: (total_ns, supersteps, exchanged_bytes, mismatches).
+    groups: Vec<(u32, u64, u32, u64, u64)>,
+}
+
+fn group_devices(n: u32) -> Vec<Device> {
+    (0..n)
+        .map(|_| Device::new(GpuConfig::default_preset()))
+        .collect()
+}
+
+/// The config every run in this artifact uses — the sharded loop's own
+/// normalization, applied to the baseline too (see module docs).
+fn cfg() -> EtaConfig {
+    EtaConfig {
+        udc: UdcMode::InCore,
+        direction_optimizing: false,
+        ..EtaConfig::paper()
+    }
+}
+
+fn mismatches(a: &[u32], b: &[u32]) -> u64 {
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u64
+}
+
+/// Runs one traversal algorithm's sweep on one graph.
+fn traversal_cell(
+    name: &'static str,
+    alg: Algorithm,
+    parts: &mut BTreeMap<(bool, u32), GraphPartition>,
+) -> Cell {
+    let g = suite::graph_for(name, alg);
+    let source = suite::dataset(name).source;
+    let cfg = cfg();
+    let mut dev = Device::new(GpuConfig::default_preset());
+    // lint: allow(L-PANIC): suite graphs fit under UM; an OOM here is a bench bug
+    let single = engine::run(&mut dev, &g, source, alg, &cfg).expect("baseline run");
+    let mut groups = Vec::new();
+    for devices in GROUP_SIZES {
+        let part = parts
+            .entry((alg.needs_weights(), devices))
+            .or_insert_with(|| GraphPartition::vertex_range(&g, devices));
+        let mut devs = group_devices(devices);
+        let mut fabric = PeerFabric::nvlink(devices);
+        let r = run_sharded(&mut devs, &mut fabric, part, source, alg, &cfg)
+            // lint: allow(L-PANIC): no faults are injected; a sharded error is a bench bug
+            .expect("sharded run");
+        groups.push((
+            devices,
+            r.total_ns,
+            r.supersteps,
+            r.bytes_per_superstep(),
+            mismatches(&single.labels, &r.labels),
+        ));
+    }
+    Cell {
+        single_ns: single.total_ns,
+        groups,
+    }
+}
+
+/// Runs the PageRank sweep on one graph (bit-exact f32 ranks). PageRank is
+/// all-active and unweighted, so it shares BFS's cached topology.
+fn pagerank_cell(name: &'static str, parts: &mut BTreeMap<(bool, u32), GraphPartition>) -> Cell {
+    let g = suite::graph_for(name, Algorithm::Bfs);
+    let pr_cfg = PageRankConfig {
+        eta: cfg(),
+        ..PageRankConfig::default()
+    };
+    let mut dev = Device::new(GpuConfig::default_preset());
+    // lint: allow(L-PANIC): suite graphs fit under UM; an OOM here is a bench bug
+    let single = pagerank::run(&mut dev, &g, &pr_cfg).expect("baseline pagerank");
+    let single_bits: Vec<u32> = single.ranks.iter().map(|r| r.to_bits()).collect();
+    let mut groups = Vec::new();
+    for devices in GROUP_SIZES {
+        let part = parts
+            .entry((false, devices))
+            .or_insert_with(|| GraphPartition::vertex_range(&g, devices));
+        let mut devs = group_devices(devices);
+        let mut fabric = PeerFabric::nvlink(devices);
+        let r = run_sharded_pagerank(&mut devs, &mut fabric, part, &g, &pr_cfg)
+            // lint: allow(L-PANIC): no faults are injected; a sharded error is a bench bug
+            .expect("sharded pagerank");
+        let bits: Vec<u32> = r.ranks.iter().map(|x| x.to_bits()).collect();
+        groups.push((
+            devices,
+            r.total_ns,
+            r.iterations,
+            r.exchanged_bytes
+                .checked_div(r.iterations as u64)
+                .unwrap_or(0),
+            mismatches(&single_bits, &bits),
+        ));
+    }
+    Cell {
+        single_ns: single.total_ns,
+        groups,
+    }
+}
+
+/// Table V graph list for a suite (the paper's four sampled datasets; the
+/// quick suite keeps the two that build in seconds).
+pub fn graphs_for(suite: Suite) -> Vec<&'static str> {
+    match suite {
+        Suite::Quick => vec!["livejournal", "orkut"],
+        Suite::Full => vec!["livejournal", "orkut", "rmat22", "uk2005"],
+    }
+}
+
+/// Generates the `shard` artifact.
+pub fn shard(suite: Suite) -> Artifact {
+    let names = graphs_for(suite);
+    let algs: [(&str, Option<Algorithm>); 4] = [
+        ("bfs", Some(Algorithm::Bfs)),
+        ("sssp", Some(Algorithm::Sssp)),
+        ("sswp", Some(Algorithm::Sswp)),
+        ("pagerank", None),
+    ];
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    let mut total_mismatches = 0u64;
+    let mut comparisons = 0u64;
+    for &name in &names {
+        // Partitions are shared across the algorithms of one graph (weighted
+        // and unweighted topologies partition separately).
+        let mut parts: BTreeMap<(bool, u32), GraphPartition> = BTreeMap::new();
+        for (alg_name, alg) in algs {
+            let cell = match alg {
+                Some(a) => traversal_cell(name, a, &mut parts),
+                None => pagerank_cell(name, &mut parts),
+            };
+            let mut row = vec![name.to_string(), alg_name.to_string(), ms(cell.single_ns)];
+            let mut jgroups = Vec::new();
+            for &(devices, total_ns, supersteps, bytes_per_step, miss) in &cell.groups {
+                let speedup = cell.single_ns as f64 / total_ns.max(1) as f64;
+                row.push(ms(total_ns));
+                row.push(format!("{speedup:.2}x"));
+                total_mismatches += miss;
+                comparisons += 1;
+                jgroups.push(json!({
+                    "devices": devices,
+                    "total_ns": total_ns,
+                    "speedup": speedup,
+                    "supersteps": supersteps,
+                    "exchanged_bytes_per_superstep": bytes_per_step,
+                    "mismatches": miss,
+                }));
+            }
+            // Exchange volume columns come from the widest group.
+            // lint: allow(L-PANIC): GROUP_SIZES is a non-empty const; bench code may panic
+            let last = cell.groups.last().expect("at least one group size");
+            row.push(last.2.to_string());
+            row.push(format!("{:.1}", last.3 as f64 / 1024.0));
+            row.push(cell.groups.iter().map(|g| g.4).sum::<u64>().to_string());
+            rows.push(row);
+            jrows.push(json!({
+                "dataset": name,
+                "algorithm": alg_name,
+                "single_total_ns": cell.single_ns,
+                "groups": jgroups,
+            }));
+        }
+    }
+    let mut body = text::table(
+        &[
+            "dataset",
+            "algorithm",
+            "1 dev (ms)",
+            "2 dev (ms)",
+            "2-dev speedup",
+            "4 dev (ms)",
+            "4-dev speedup",
+            "supersteps@4",
+            "KB/superstep@4",
+            "mismatches",
+        ],
+        &rows,
+    );
+    body.push_str(&format!(
+        "\nbyte-identity: {total_mismatches} mismatches across {comparisons} sharded runs \
+         (every label/rank vector compared element-wise against the single-device engine)\n"
+    ));
+    Artifact {
+        name: "shard",
+        title: "Shard: 1/2/4-device sharded traversal scaling (Table V graphs)".into(),
+        text: body,
+        json: json!({
+            "graphs": names,
+            "group_sizes": GROUP_SIZES,
+            "comparisons": comparisons,
+            "total_mismatches": total_mismatches,
+            "rows": Value::Array(jrows),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_artifact_is_byte_identical_and_scales() {
+        let a = shard(Suite::Quick);
+        assert_eq!(a.name, "shard");
+        assert_eq!(a.json["total_mismatches"], 0u64, "sharded answers differ");
+        assert!(a.text.contains("0 mismatches"));
+        // The two quick-suite graphs are the suite's largest; the 4-device
+        // group must beat one device on both (mean over the four algorithms).
+        for row in a.json["rows"].as_array().unwrap().chunks(4) {
+            let ds = row[0]["dataset"].as_str().unwrap().to_string();
+            let mean: f64 = row
+                .iter()
+                .map(|r| r["groups"][1]["speedup"].as_f64().unwrap())
+                .sum::<f64>()
+                / row.len() as f64;
+            assert!(mean > 1.0, "{ds}: mean 4-device speedup {mean:.2}x <= 1");
+        }
+    }
+}

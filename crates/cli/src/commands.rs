@@ -44,7 +44,7 @@ pub fn usage() -> String {
      \x20                  [--island I] [--seed N] [--max-weight W] --out FILE\n\
      etagraph info FILE [--json]\n\
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
-     \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull]\n\
+     \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull] [--devices N]\n\
      \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
@@ -302,6 +302,10 @@ fn run(args: &Args) -> Result<Output, ArgError> {
             g.n()
         )));
     }
+    let devices: u32 = args.get_parse("devices", 1)?;
+    if devices > 1 {
+        return run_sharded_cli(args, &g, alg, source, devices);
+    }
     let mut dev = device_from(args)?;
 
     let result: RunResult = match args.get("framework").unwrap_or("eta") {
@@ -355,6 +359,8 @@ fn run(args: &Args) -> Result<Output, ArgError> {
         result.um_stats.migrated_bytes as f64 / 1024.0,
         result.um_stats.migration_batches.len(),
     );
+    let digest = eta_ckpt::digest_words(&[&result.labels]);
+    let _ = writeln!(text, "labels digest: {digest:016x}");
     let mut out = Output {
         json: json!({
             "algorithm": alg.name(),
@@ -364,6 +370,7 @@ fn run(args: &Args) -> Result<Output, ArgError> {
             "kernel_ms": result.kernel_ms(),
             "total_ms": result.total_ms(),
             "overlap_fraction": result.overlap_fraction,
+            "labels_digest": format!("{digest:016x}"),
             "metrics": m,
             "um": result.um_stats,
         }),
@@ -371,6 +378,94 @@ fn run(args: &Args) -> Result<Output, ArgError> {
     };
     attach_sanitizer(&mut out, &dev);
     attach_profile(&mut out, &dev.profile(), args)?;
+    Ok(out)
+}
+
+/// `run --devices N`: the same query sharded across an N-member device
+/// group over a modeled NVLink fabric (`etagraph::sharded`). The labels
+/// digest printed here is byte-comparable with the single-device run's —
+/// the CI differential gate diffs exactly these two lines.
+fn run_sharded_cli(
+    args: &Args,
+    g: &Csr,
+    alg: Algorithm,
+    source: u32,
+    devices: u32,
+) -> Result<Output, ArgError> {
+    if args.get("framework").unwrap_or("eta") != "eta" {
+        return Err(ArgError(
+            "--devices applies to the eta framework only".into(),
+        ));
+    }
+    for single_only in ["trace", "faults"] {
+        if args.get(single_only).is_some() {
+            return Err(ArgError(format!(
+                "--{single_only} is a single-device flag; drop --devices"
+            )));
+        }
+    }
+    if args.switch("sanitize") {
+        return Err(ArgError(
+            "--sanitize is a single-device flag; drop --devices".into(),
+        ));
+    }
+    let cfg = eta_config_from(args)?;
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    if args.get("profile").is_some() {
+        gpu = gpu.with_profiling();
+    }
+    let part = eta_shard::GraphPartition::vertex_range(g, devices);
+    let mut devs: Vec<Device> = (0..devices).map(|_| Device::new(gpu)).collect();
+    let mut fabric = eta_mem::PeerFabric::nvlink(devices);
+    let r = etagraph::sharded::run_sharded(&mut devs, &mut fabric, &part, source, alg, &cfg)
+        .map_err(|e| ArgError(format!("sharded run failed: {e}")))?;
+
+    let init = alg.init_label();
+    let visited = r.labels.iter().filter(|&&l| l != init).count();
+    let digest = eta_ckpt::digest_words(&[&r.labels]);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} from {source} on {devices} devices: visited {} of {} ({:.2}%) in {} supersteps",
+        alg.name(),
+        visited,
+        g.n(),
+        visited as f64 * 100.0 / g.n().max(1) as f64,
+        r.supersteps
+    );
+    let _ = writeln!(
+        text,
+        "simulated: {:.3} ms kernel (all shards), {:.3} ms total; {:.1} KB over the peer fabric ({:.1} KB/superstep)",
+        r.kernel_ns as f64 / 1e6,
+        r.total_ns as f64 / 1e6,
+        r.exchanged_bytes as f64 / 1024.0,
+        r.bytes_per_superstep() as f64 / 1024.0,
+    );
+    let _ = writeln!(text, "labels digest: {digest:016x}");
+    let mut out = Output {
+        json: json!({
+            "algorithm": alg.name(),
+            "source": source,
+            "devices": devices,
+            "visited": visited,
+            "supersteps": r.supersteps,
+            "kernel_ms": r.kernel_ns as f64 / 1e6,
+            "total_ms": r.total_ns as f64 / 1e6,
+            "exchanged_bytes": r.exchanged_bytes,
+            "bytes_per_superstep": r.bytes_per_superstep(),
+            "labels_digest": format!("{digest:016x}"),
+            "metrics": r.metrics,
+        }),
+        text,
+    };
+    if args.get("profile").is_some() {
+        let mut profile = eta_prof::Profile::new();
+        for (s, d) in devs.iter().enumerate() {
+            profile.push(&format!("device{s}"), d.mem.prof.events().to_vec());
+        }
+        attach_profile(&mut out, &profile, args)?;
+    }
     Ok(out)
 }
 
@@ -436,6 +531,10 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
         iterations: args.get_parse("iterations", 20)?,
         eta: eta_config_from(args)?,
     };
+    let devices: u32 = args.get_parse("devices", 1)?;
+    if devices > 1 {
+        return run_pagerank_sharded(args, g, &cfg, devices);
+    }
     let mut dev = device_from(args)?;
     let r = etagraph::pagerank::run(&mut dev, g, &cfg)
         .map_err(|e| ArgError(format!("pagerank failed: {e}")))?;
@@ -459,18 +558,79 @@ fn run_pagerank(args: &Args, g: &Csr) -> Result<Output, ArgError> {
     for &(v, rank) in top.iter().take(10) {
         let _ = writeln!(text, "  {v:>8}  {rank:.6}");
     }
+    let bits: Vec<u32> = r.ranks.iter().map(|x| x.to_bits()).collect();
+    let digest = eta_ckpt::digest_words(&[&bits]);
+    let _ = writeln!(text, "ranks digest: {digest:016x}");
     let mut out = Output {
         json: json!({
             "algorithm": "PageRank",
             "iterations": r.iterations,
             "kernel_ms": r.kernel_ns as f64 / 1e6,
             "total_ms": r.total_ns as f64 / 1e6,
+            "ranks_digest": format!("{digest:016x}"),
             "top10": top.iter().take(10).map(|&(v, rank)| json!({"vertex": v, "rank": rank})).collect::<Vec<_>>(),
         }),
         text,
     };
     attach_sanitizer(&mut out, &dev);
     attach_profile(&mut out, &dev.profile(), args)?;
+    Ok(out)
+}
+
+/// `run --alg pagerank --devices N`: sharded PageRank with bit-identical
+/// ranks (the digest line matches the single-device run's exactly).
+fn run_pagerank_sharded(
+    args: &Args,
+    g: &Csr,
+    cfg: &etagraph::pagerank::PageRankConfig,
+    devices: u32,
+) -> Result<Output, ArgError> {
+    if args.switch("sanitize") || args.get("trace").is_some() || args.get("faults").is_some() {
+        return Err(ArgError(
+            "--sanitize/--trace/--faults are single-device flags; drop --devices".into(),
+        ));
+    }
+    let device_mb: u64 = args.get_parse("device-mb", 88)?;
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    if args.get("profile").is_some() {
+        gpu = gpu.with_profiling();
+    }
+    let part = eta_shard::GraphPartition::vertex_range(g, devices);
+    let mut devs: Vec<Device> = (0..devices).map(|_| Device::new(gpu)).collect();
+    let mut fabric = eta_mem::PeerFabric::nvlink(devices);
+    let r = etagraph::sharded::run_sharded_pagerank(&mut devs, &mut fabric, &part, g, cfg)
+        .map_err(|e| ArgError(format!("sharded pagerank failed: {e}")))?;
+    let bits: Vec<u32> = r.ranks.iter().map(|x| x.to_bits()).collect();
+    let digest = eta_ckpt::digest_words(&[&bits]);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "PageRank on {devices} devices: {} iterations, {:.3} ms kernel / {:.3} ms total; {:.1} KB over the peer fabric",
+        r.iterations,
+        r.kernel_ns as f64 / 1e6,
+        r.total_ns as f64 / 1e6,
+        r.exchanged_bytes as f64 / 1024.0,
+    );
+    let _ = writeln!(text, "ranks digest: {digest:016x}");
+    let mut out = Output {
+        json: json!({
+            "algorithm": "PageRank",
+            "devices": devices,
+            "iterations": r.iterations,
+            "kernel_ms": r.kernel_ns as f64 / 1e6,
+            "total_ms": r.total_ns as f64 / 1e6,
+            "exchanged_bytes": r.exchanged_bytes,
+            "ranks_digest": format!("{digest:016x}"),
+        }),
+        text,
+    };
+    if args.get("profile").is_some() {
+        let mut profile = eta_prof::Profile::new();
+        for (s, d) in devs.iter().enumerate() {
+            profile.push(&format!("device{s}"), d.mem.prof.events().to_vec());
+        }
+        attach_profile(&mut out, &profile, args)?;
+    }
     Ok(out)
 }
 
@@ -833,6 +993,37 @@ mod tests {
         // Baseline frameworks work through the same interface.
         let tigr = dispatch(argv(&format!("run {f} --alg bfs --framework tigr"))).unwrap();
         assert!(tigr.json["total_ms"].as_f64().unwrap() > 0.0);
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn sharded_run_matches_single_device_digest() {
+        let f = tmpfile("sharded.etag");
+        dispatch(argv(&format!(
+            "generate rmat --scale 9 --edges 4000 --seed 7 --max-weight 32 --out {f}"
+        )))
+        .unwrap();
+        for alg in ["bfs", "sssp"] {
+            let single = dispatch(argv(&format!("run {f} --alg {alg} --source 3"))).unwrap();
+            let sharded =
+                dispatch(argv(&format!("run {f} --alg {alg} --source 3 --devices 2"))).unwrap();
+            assert_eq!(
+                single.json["labels_digest"], sharded.json["labels_digest"],
+                "{alg}: sharded answer must match the single-device one"
+            );
+            assert_eq!(sharded.json["devices"], 2);
+            assert!(sharded.json["exchanged_bytes"].as_u64().unwrap() > 0);
+            assert!(sharded.text.contains("labels digest"));
+        }
+        let pr1 = dispatch(argv(&format!("run {f} --alg pagerank --iterations 5"))).unwrap();
+        let pr2 = dispatch(argv(&format!(
+            "run {f} --alg pagerank --iterations 5 --devices 2"
+        )))
+        .unwrap();
+        assert_eq!(pr1.json["ranks_digest"], pr2.json["ranks_digest"]);
+        // Single-device-only flags are refused, not silently ignored.
+        let err = dispatch(argv(&format!("run {f} --alg bfs --devices 2 --sanitize"))).unwrap_err();
+        assert!(err.0.contains("single-device"), "{err}");
         std::fs::remove_file(&f).ok();
     }
 

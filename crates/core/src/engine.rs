@@ -38,7 +38,7 @@ use eta_prof::Track;
 use eta_sim::{Device, KernelMetrics, LaunchConfig};
 
 /// Device-resident out-of-core shadow table.
-struct DeviceShadowTable {
+pub(crate) struct DeviceShadowTable {
     ids: DSlice,
     starts: DSlice,
     ends: DSlice,
@@ -46,7 +46,7 @@ struct DeviceShadowTable {
 }
 
 /// Transposed topology for pull iterations.
-struct PullGraph {
+pub(crate) struct PullGraph {
     row_offsets: DSlice,
     col_idx: DSlice,
 }
@@ -59,15 +59,15 @@ const PULL_ALPHA: u64 = 20;
 /// transposed graph. Built once by [`prepare`], reusable across queries
 /// (see [`crate::session::Session`]).
 pub struct QueryResources {
-    dg: DeviceGraph,
-    pull: Option<PullGraph>,
-    labels: DSlice,
-    tags: DSlice,
-    act: DeviceQueue,
-    next: DeviceQueue,
-    full: VirtualQueue,
-    partial: VirtualQueue,
-    shadow_table: Option<DeviceShadowTable>,
+    pub(crate) dg: DeviceGraph,
+    pub(crate) pull: Option<PullGraph>,
+    pub(crate) labels: DSlice,
+    pub(crate) tags: DSlice,
+    pub(crate) act: DeviceQueue,
+    pub(crate) next: DeviceQueue,
+    pub(crate) full: VirtualQueue,
+    pub(crate) partial: VirtualQueue,
+    pub(crate) shadow_table: Option<DeviceShadowTable>,
 }
 
 impl QueryResources {

@@ -39,6 +39,7 @@ pub mod multi_bfs;
 pub mod pagerank;
 pub mod result;
 pub mod session;
+pub mod sharded;
 pub mod udc;
 
 pub use config::{Algorithm, EtaConfig, TransferMode, UdcMode};

@@ -58,11 +58,11 @@ pub struct PageRankResult {
 }
 
 /// One-time kernel: cut ALL vertices into shadow tuples (static UDC).
-struct StaticUdcKernel {
-    n: u32,
-    row_offsets: DSlice,
-    out: VirtualQueue,
-    k: u32,
+pub(crate) struct StaticUdcKernel {
+    pub(crate) n: u32,
+    pub(crate) row_offsets: DSlice,
+    pub(crate) out: VirtualQueue,
+    pub(crate) k: u32,
 }
 
 impl Kernel for StaticUdcKernel {
@@ -124,11 +124,11 @@ impl Kernel for StaticUdcKernel {
 /// Per-iteration pass 1: `contrib[v] = rank[v] / out_degree(v)` (dangling
 /// vertices contribute 0 here; their mass is redistributed on the host-side
 /// base term, matching the reference).
-struct ContribKernel {
-    n: u32,
-    row_offsets: DSlice,
-    ranks: DSlice,
-    contrib: DSlice,
+pub(crate) struct ContribKernel {
+    pub(crate) n: u32,
+    pub(crate) row_offsets: DSlice,
+    pub(crate) ranks: DSlice,
+    pub(crate) contrib: DSlice,
 }
 
 impl Kernel for ContribKernel {
@@ -169,15 +169,15 @@ impl Kernel for ContribKernel {
 /// Per-iteration pass 2: scatter each shadow's contribution to its
 /// neighbors with float atomics. SMP stages the neighbor IDs exactly as the
 /// traversal kernel does.
-struct ScatterKernel {
-    smp: bool,
-    k: u32,
-    queue: VirtualQueue,
-    len: u32,
-    col_idx: DSlice,
-    contrib: DSlice,
-    next_ranks: DSlice,
-    threads_per_block: u32,
+pub(crate) struct ScatterKernel {
+    pub(crate) smp: bool,
+    pub(crate) k: u32,
+    pub(crate) queue: VirtualQueue,
+    pub(crate) len: u32,
+    pub(crate) col_idx: DSlice,
+    pub(crate) contrib: DSlice,
+    pub(crate) next_ranks: DSlice,
+    pub(crate) threads_per_block: u32,
 }
 
 impl Kernel for ScatterKernel {
@@ -280,12 +280,12 @@ impl Kernel for ScatterKernel {
 }
 
 /// Per-iteration pass 3: `rank[v] = base + d * next[v]; next[v] = 0`.
-struct ApplyKernel {
-    n: u32,
-    ranks: DSlice,
-    next_ranks: DSlice,
-    base: f32,
-    damping: f32,
+pub(crate) struct ApplyKernel {
+    pub(crate) n: u32,
+    pub(crate) ranks: DSlice,
+    pub(crate) next_ranks: DSlice,
+    pub(crate) base: f32,
+    pub(crate) damping: f32,
 }
 
 impl Kernel for ApplyKernel {

@@ -17,6 +17,9 @@
 //!   explicit copies, UM page migrations and prefetch streams.
 //! * [`um`] — page residency, contiguous-fault merging, 2 MiB prefetch
 //!   chunks, and LRU eviction for oversubscription.
+//! * [`peer::PeerFabric`] — NVLink-style device↔device links (one serially
+//!   occupied link per device pair) used by the sharded engine's halo
+//!   exchanges.
 //!
 //! The memory system also owns the [`eta_prof::Profiler`]: every PCIe copy
 //! and UM migration/prefetch/eviction that lands on a timeline is mirrored
@@ -31,6 +34,7 @@
 pub mod cache;
 pub mod coalesce;
 pub mod pcie;
+pub mod peer;
 pub mod system;
 pub mod timeline;
 pub mod um;
@@ -38,6 +42,7 @@ pub mod um;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::{sectors_for_warp, SECTOR_BYTES, WORD_BYTES};
 pub use pcie::PcieLink;
+pub use peer::{PeerFabric, PeerLink, PeerLinkCfg, PeerTransfer};
 pub use system::{DSlice, MemError, MemSystem, RegionId, RegionKind};
 pub use timeline::{Span, SpanKind, Timeline};
 pub use um::PAGE_BYTES;

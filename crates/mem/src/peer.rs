@@ -1,0 +1,250 @@
+//! NVLink-style peer-to-peer links between simulated devices.
+//!
+//! The single-device model prices one PCIe link per device ([`crate::pcie`]).
+//! Sharded multi-device traversal (eta-shard) adds a second interconnect:
+//! direct device↔device links over which the BSP engine exchanges halo
+//! frontier/label updates each superstep. EMOGI's observation (PAPERS.md)
+//! motivates modeling this explicitly — once the graph is partitioned, the
+//! link, not the SM, is the resource that must be priced correctly.
+//!
+//! The model is deliberately the same shape as [`crate::pcie::PcieLink`]:
+//! each unordered device pair owns one full-duplex-agnostic link with a
+//! fixed per-transfer latency and a bandwidth in GB/s. Transfers on the
+//! same link serialize (`busy_until`), which is the fabric-contention model:
+//! two exchanges between the same pair queue behind each other, while
+//! disjoint pairs proceed in parallel. Peer copies move pinned device
+//! memory, so no pageable-staging penalty applies (unlike explicit PCIe
+//! copies).
+//!
+//! Every transfer is recorded as a [`SpanKind::PeerCopy`] span on the
+//! link's [`Timeline`]; the sharded engine mirrors those spans into
+//! eta-prof on `Track::Peer`.
+
+use crate::timeline::{Span, SpanKind, Timeline};
+use crate::Ns;
+
+/// Bandwidth/latency parameters for one peer link.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerLinkCfg {
+    /// Link bandwidth in GB/s (1 GB/s == 1 byte/ns).
+    pub bandwidth_gb_s: f64,
+    /// Fixed per-transfer setup latency in nanoseconds.
+    pub latency_ns: Ns,
+}
+
+impl PeerLinkCfg {
+    /// An NVLink 1.0-style brick: ~40 GB/s with a short setup latency —
+    /// roughly 3× the modeled PCIe bandwidth at a quarter of its latency,
+    /// matching the published NVLink-vs-PCIe ratios EMOGI reports.
+    pub fn nvlink() -> Self {
+        Self {
+            bandwidth_gb_s: 40.0,
+            latency_ns: 2_000,
+        }
+    }
+}
+
+impl Default for PeerLinkCfg {
+    fn default() -> Self {
+        Self::nvlink()
+    }
+}
+
+/// One device↔device link: serially occupied, span-recorded.
+#[derive(Debug, Clone)]
+pub struct PeerLink {
+    bytes_per_ns: f64,
+    latency_ns: Ns,
+    busy_until: Ns,
+    bytes_moved: u64,
+    pub timeline: Timeline,
+}
+
+impl PeerLink {
+    fn new(cfg: PeerLinkCfg) -> Self {
+        Self {
+            bytes_per_ns: cfg.bandwidth_gb_s,
+            latency_ns: cfg.latency_ns,
+            busy_until: 0,
+            bytes_moved: 0,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Models one transfer of `bytes` requested at `now`; returns the
+    /// `(start, end)` interval. Requests queue behind the link's previous
+    /// occupancy — that serialization is the contention model.
+    fn transfer(&mut self, bytes: u64, now: Ns) -> (Ns, Ns) {
+        let start = now.max(self.busy_until);
+        let wire = (bytes as f64 / self.bytes_per_ns).ceil() as Ns;
+        let end = start + self.latency_ns + wire;
+        self.busy_until = end;
+        self.bytes_moved += bytes;
+        self.timeline.push(Span {
+            kind: SpanKind::PeerCopy,
+            start,
+            end,
+            bytes,
+        });
+        (start, end)
+    }
+
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+}
+
+/// One recorded peer transfer with its endpoints, for profiler mirroring.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerTransfer {
+    pub from: u32,
+    pub to: u32,
+    pub bytes: u64,
+    pub start: Ns,
+    pub end: Ns,
+}
+
+/// The all-pairs peer fabric of a device group.
+///
+/// Holds one [`PeerLink`] per unordered device pair, created lazily on
+/// first use so a fabric over N devices costs O(pairs actually exercised).
+#[derive(Debug, Clone)]
+pub struct PeerFabric {
+    devices: u32,
+    cfg: PeerLinkCfg,
+    /// Keyed by `(min, max)` of the endpoint pair, kept sorted for
+    /// deterministic iteration.
+    links: Vec<((u32, u32), PeerLink)>,
+    /// Every transfer in request order, with endpoints (links only record
+    /// anonymous spans).
+    log: Vec<PeerTransfer>,
+}
+
+impl PeerFabric {
+    pub fn new(devices: u32, cfg: PeerLinkCfg) -> Self {
+        Self {
+            devices,
+            cfg,
+            links: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// A fabric with the default NVLink-style link parameters.
+    pub fn nvlink(devices: u32) -> Self {
+        Self::new(devices, PeerLinkCfg::nvlink())
+    }
+
+    pub fn devices(&self) -> u32 {
+        self.devices
+    }
+
+    fn link_mut(&mut self, a: u32, b: u32) -> &mut PeerLink {
+        let key = (a.min(b), a.max(b));
+        match self.links.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => &mut self.links[i].1,
+            Err(i) => {
+                self.links.insert(i, (key, PeerLink::new(self.cfg)));
+                &mut self.links[i].1
+            }
+        }
+    }
+
+    /// Models one `from → to` transfer of `bytes` requested at `now`;
+    /// returns the `(start, end)` interval on the pair's link.
+    pub fn transfer(&mut self, from: u32, to: u32, bytes: u64, now: Ns) -> (Ns, Ns) {
+        debug_assert!(from < self.devices && to < self.devices && from != to);
+        let (start, end) = self.link_mut(from, to).transfer(bytes, now);
+        self.log.push(PeerTransfer {
+            from,
+            to,
+            bytes,
+            start,
+            end,
+        });
+        (start, end)
+    }
+
+    /// Total bytes moved over every link.
+    pub fn bytes_moved(&self) -> u64 {
+        self.links.iter().map(|(_, l)| l.bytes_moved()).sum()
+    }
+
+    /// Every transfer in request order, with endpoints.
+    pub fn log(&self) -> &[PeerTransfer] {
+        &self.log
+    }
+
+    /// Transfers recorded since `mark` (a previous `log().len()`), for
+    /// incremental profiler mirroring.
+    pub fn log_since(&self, mark: usize) -> &[PeerTransfer] {
+        &self.log[mark..]
+    }
+
+    /// The link for an unordered pair, if it has carried traffic.
+    pub fn link(&self, a: u32, b: u32) -> Option<&PeerLink> {
+        let key = (a.min(b), a.max(b));
+        self.links
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.links[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_on_one_link_serialize() {
+        let mut f = PeerFabric::new(
+            2,
+            PeerLinkCfg {
+                bandwidth_gb_s: 1.0,
+                latency_ns: 100,
+            },
+        );
+        let (s1, e1) = f.transfer(0, 1, 1000, 0);
+        assert_eq!((s1, e1), (0, 1100));
+        // Second request at t=50 queues behind the first (contention), and
+        // the reverse direction shares the same physical link.
+        let (s2, e2) = f.transfer(1, 0, 1000, 50);
+        assert_eq!((s2, e2), (1100, 2200));
+        assert_eq!(f.bytes_moved(), 2000);
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let mut f = PeerFabric::nvlink(4);
+        let (_, e1) = f.transfer(0, 1, 40_000, 0);
+        let (s2, _) = f.transfer(2, 3, 40_000, 0);
+        assert_eq!(s2, 0, "0-1 traffic must not delay the 2-3 link");
+        assert!(e1 > 0);
+        assert_eq!(f.log().len(), 2);
+    }
+
+    #[test]
+    fn peer_copies_skip_the_pageable_penalty() {
+        // 40 GB/s for 40_000 bytes is 1000 ns of wire time exactly; the
+        // pageable staging factor (pcie.rs) must not apply to peer copies.
+        let mut f = PeerFabric::new(
+            2,
+            PeerLinkCfg {
+                bandwidth_gb_s: 40.0,
+                latency_ns: 0,
+            },
+        );
+        let (s, e) = f.transfer(0, 1, 40_000, 0);
+        assert_eq!(e - s, 1000);
+    }
+
+    #[test]
+    fn spans_record_peer_kind() {
+        let mut f = PeerFabric::nvlink(2);
+        f.transfer(0, 1, 64, 0);
+        let link = f.link(1, 0).expect("link exists");
+        assert_eq!(link.timeline.spans().len(), 1);
+        assert_eq!(link.timeline.spans()[0].kind, SpanKind::PeerCopy);
+        assert_eq!(link.timeline.spans()[0].bytes, 64);
+    }
+}

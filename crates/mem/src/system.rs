@@ -214,6 +214,7 @@ impl MemSystem {
         for s in spans {
             let track = match s.kind {
                 SpanKind::CopyH2D | SpanKind::CopyD2H => Track::Transfer,
+                SpanKind::PeerCopy => Track::Peer,
                 _ => Track::Um,
             };
             let mut args: Vec<(&'static str, ArgValue)> = vec![("bytes", s.bytes.into())];

@@ -21,6 +21,8 @@ pub enum SpanKind {
     Prefetch,
     /// Page eviction under oversubscription (device→host writeback).
     Eviction,
+    /// Peer-to-peer device copy over an NVLink-style link (see `peer`).
+    PeerCopy,
     /// Kernel execution.
     Compute,
 }
@@ -39,6 +41,7 @@ impl SpanKind {
             SpanKind::Migration => "um_migration",
             SpanKind::Prefetch => "um_prefetch",
             SpanKind::Eviction => "um_eviction",
+            SpanKind::PeerCopy => "peer_copy",
             SpanKind::Compute => "kernel",
         }
     }

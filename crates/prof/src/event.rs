@@ -24,6 +24,10 @@ pub enum Track {
     /// Checkpoint/resume activity: snapshot spans at iteration boundaries,
     /// resume spans, and migration instants (see eta-ckpt).
     Ckpt,
+    /// Peer-to-peer (NVLink-style) device-to-device transfers: the sharded
+    /// engine's halo frontier/label exchanges (see eta-shard and eta-mem's
+    /// `PeerFabric`).
+    Peer,
 }
 
 impl Track {
@@ -37,6 +41,7 @@ impl Track {
             Track::Sched => 5,
             Track::Fault => 6,
             Track::Ckpt => 7,
+            Track::Peer => 8,
         }
     }
 
@@ -50,11 +55,12 @@ impl Track {
             Track::Sched => "scheduler",
             Track::Fault => "faults",
             Track::Ckpt => "checkpoints",
+            Track::Peer => "peer links",
         }
     }
 
     /// All tracks, in tid order.
-    pub fn all() -> [Track; 7] {
+    pub fn all() -> [Track; 8] {
         [
             Track::Kernel,
             Track::Transfer,
@@ -63,6 +69,7 @@ impl Track {
             Track::Sched,
             Track::Fault,
             Track::Ckpt,
+            Track::Peer,
         ]
     }
 }

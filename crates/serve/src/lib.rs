@@ -39,6 +39,15 @@
 //! interval 0 (the default) disables the machinery and is byte-identical
 //! to the pre-checkpoint service.
 //!
+//! With [`group::GroupService`], one query runs across a device *group*
+//! via `etagraph::sharded`: the registry admits **partitioned residency**
+//! (cached [`eta_shard::GraphPartition`]s, halo-aware footprint sizing),
+//! the scheduler acquires and releases whole groups atomically, and the
+//! fault ladder regroups — a faulted member quarantines and the query
+//! resumes from its group-shape-agnostic checkpoint on the remaining
+//! healthy members. The report's `groups` entries carry per-composition
+//! utilization and exchanged bytes per superstep.
+//!
 //! Everything is deterministic: the same registry, config, and trace produce
 //! byte-identical reports, because all time is simulated and all randomness
 //! is counter-based. With profiling on (`GpuConfig::with_profiling`), the
@@ -62,6 +71,7 @@
 //! assert_eq!(report.completed as usize + report.rejections.len(), 40);
 //! ```
 
+pub mod group;
 pub mod pool;
 pub mod registry;
 pub mod report;
@@ -69,10 +79,11 @@ pub mod request;
 pub mod sched;
 pub mod workload;
 
+pub use group::{GroupConfig, GroupService};
 pub use pool::DeviceWorker;
 pub use registry::GraphRegistry;
 pub use report::{
-    BatchRecord, DeviceStats, FaultEvent, QuarantineRecord, RequestRecord, ServeReport,
+    BatchRecord, DeviceStats, FaultEvent, GroupStats, QuarantineRecord, RequestRecord, ServeReport,
 };
 pub use request::{Priority, RejectReason, Rejection, Request};
 pub use sched::{Policy, ServeConfig, Service};

@@ -93,6 +93,29 @@ pub struct QuarantineRecord {
     pub until_ns: Ns,
 }
 
+/// Accounting for one device-group composition used by sharded serving:
+/// which members, how much work they did together, and how much halo
+/// traffic the queries moved over the peer fabric.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupStats {
+    /// Member device ids, ascending. Groups are keyed by composition, so a
+    /// regrouped resume after a quarantine shows up as a separate entry.
+    pub devices: Vec<u32>,
+    /// Sharded queries this composition completed.
+    pub queries: u32,
+    /// Wall time the group was held (members are acquired and released
+    /// together, so this is also each member's busy time in the group).
+    pub busy_ns: Ns,
+    /// busy / makespan, in [0, 1].
+    pub utilization: f64,
+    /// Peer-fabric bytes the group's queries exchanged.
+    pub exchanged_bytes: u64,
+    /// BSP supersteps across the group's queries.
+    pub supersteps: u64,
+    /// exchanged_bytes / supersteps — mean halo traffic per iteration.
+    pub bytes_per_superstep: u64,
+}
+
 /// The full outcome of serving one trace. Deterministic: identical inputs
 /// serialize byte-identically.
 #[derive(Debug, Clone, Serialize)]
@@ -127,6 +150,11 @@ pub struct ServeReport {
     /// Sum over all resumes of the iteration each snapshot restored — the
     /// traversal work the ladder did *not* have to redo.
     pub work_saved_iterations: u64,
+    /// Device-group accounting, one entry per group composition used.
+    /// Empty (and absent from the serialization) for single-device
+    /// services, so pre-group reports stay byte-identical.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub groups: Vec<GroupStats>,
 }
 
 impl ServeReport {
@@ -226,6 +254,7 @@ mod tests {
             resumes: 0,
             migrations: 0,
             work_saved_iterations: 0,
+            groups: vec![],
         };
         assert_eq!(report.latencies_ns(None), vec![10, 20, 30]);
         assert_eq!(

@@ -943,6 +943,7 @@ impl<'r> Service<'r> {
             resumes,
             migrations,
             work_saved_iterations,
+            groups: Vec::new(),
         }
     }
 }

@@ -306,3 +306,180 @@ proptest! {
         }
     }
 }
+
+// ---- eta-shard: vertex-range partitioning & the sharded BSP loop ---------
+
+/// The config the sharded loop normalizes every run to (in-core UDC,
+/// push-only); the single-device baseline must use the same one so label
+/// comparisons measure partitioning, not configuration drift.
+fn sharded_cfg() -> EtaConfig {
+    EtaConfig {
+        udc: etagraph::UdcMode::InCore,
+        direction_optimizing: false,
+        ..EtaConfig::paper()
+    }
+}
+
+fn device_group(n: u32) -> Vec<eta_sim::Device> {
+    (0..n)
+        .map(|_| eta_sim::Device::new(GpuConfig::default_preset()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cuts tile `0..n` and every global edge — weight included — lands
+    /// in exactly one shard's owned rows, recoverable through `to_global`.
+    #[test]
+    fn partition_assigns_every_edge_exactly_once(
+        (g, _) in arb_weighted_with_source(),
+        devices in 1u32..5,
+    ) {
+        let part = eta_shard::GraphPartition::vertex_range(&g, devices);
+        prop_assert_eq!(part.shards.len(), devices as usize);
+        prop_assert_eq!(part.cuts[0], 0);
+        prop_assert_eq!(*part.cuts.last().unwrap(), g.n() as u32);
+        prop_assert!(part.cuts.windows(2).all(|w| w[0] <= w[1]));
+
+        let mut local: Vec<(u32, u32, u32)> = Vec::new();
+        for s in &part.shards {
+            prop_assert_eq!(s.own_len(), s.hi - s.lo);
+            prop_assert_eq!(s.local_m(), s.csr.m() as u64);
+            for v in 0..s.own_len() {
+                let ws = s.csr.edge_weights(v);
+                for (i, &dst) in s.csr.neighbors(v).iter().enumerate() {
+                    local.push((s.to_global(v), s.to_global(dst), ws[i]));
+                }
+            }
+        }
+        let mut global: Vec<(u32, u32, u32)> = Vec::new();
+        for v in 0..g.n() as u32 {
+            let ws = g.edge_weights(v);
+            for (i, &dst) in g.neighbors(v).iter().enumerate() {
+                global.push((v, dst, ws[i]));
+            }
+        }
+        local.sort_unstable();
+        global.sort_unstable();
+        prop_assert_eq!(local, global);
+    }
+
+    /// A shard's halo is exactly the set of cross-range destinations of its
+    /// owned edges: sorted, deduplicated, nothing owned, nothing missing.
+    #[test]
+    fn halo_is_exactly_the_cross_shard_destination_set(
+        (g, _) in arb_weighted_with_source(),
+        devices in 1u32..5,
+    ) {
+        let part = eta_shard::GraphPartition::vertex_range(&g, devices);
+        for s in &part.shards {
+            let mut expected: Vec<u32> = (s.lo..s.hi)
+                .flat_map(|v| g.neighbors(v).iter().copied())
+                .filter(|&d| d < s.lo || d >= s.hi)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(&s.halo, &expected);
+            // Local ids round-trip: owned then halo, densely packed.
+            for &h in &s.halo {
+                let l = s.to_local(h).unwrap();
+                prop_assert!(s.is_halo_local(l));
+                prop_assert_eq!(s.to_global(l), h);
+            }
+        }
+    }
+
+    /// `ShardSpec::footprint_bytes` is *exact*: preparing the shard on a
+    /// fresh device moves the allocator's explicit accounting by precisely
+    /// the predicted figure, for every K and both topology transfer modes.
+    /// (Group admission in eta-serve sizes residency off this number, so an
+    /// estimate that drifts would admit partitions that OOM mid-flight.)
+    #[test]
+    fn shard_footprint_bytes_is_exact(
+        (g, _) in arb_weighted_with_source(),
+        devices in 1u32..5,
+        k in 1u32..40,
+        explicit in any::<bool>(),
+    ) {
+        let cfg = EtaConfig {
+            k,
+            transfer: if explicit {
+                TransferMode::ExplicitCopy
+            } else {
+                TransferMode::UnifiedPrefetch
+            },
+            ..sharded_cfg()
+        };
+        let part = eta_shard::GraphPartition::vertex_range(&g, devices);
+        for s in &part.shards {
+            let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+            let before = dev.mem.explicit_used_bytes();
+            etagraph::engine::prepare(&mut dev, &s.csr, &cfg, false).unwrap();
+            let used = dev.mem.explicit_used_bytes() - before;
+            prop_assert_eq!(used, s.footprint_bytes(k, explicit),
+                "shard {}..{} (halo {})", s.lo, s.hi, s.halo.len());
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a full multi-device BSP simulation; keep the case
+    // count modest (the strategies still cover stars, chains, empty tails).
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merged sharded labels are byte-identical to the single-device engine
+    /// for every traversal algorithm, group size and graph shape — including
+    /// partitions where tail shards own an empty range.
+    #[test]
+    fn sharded_group_matches_single_device(
+        (g, src) in arb_weighted_with_source(),
+        devices in 2u32..5,
+        which in 0usize..3,
+    ) {
+        let alg = [Algorithm::Bfs, Algorithm::Sssp, Algorithm::Sswp][which];
+        let cfg = sharded_cfg();
+        let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+        let single = etagraph::engine::run(&mut dev, &g, src, alg, &cfg).unwrap();
+
+        let part = eta_shard::GraphPartition::vertex_range(&g, devices);
+        let mut devs = device_group(devices);
+        let mut fabric = eta_mem::PeerFabric::nvlink(devices);
+        let sharded =
+            etagraph::sharded::run_sharded(&mut devs, &mut fabric, &part, src, alg, &cfg)
+                .unwrap();
+        prop_assert_eq!(&sharded.labels, &single.labels, "labels diverge under sharding");
+        // Conservation: what left the wire is what the per-superstep log saw.
+        prop_assert_eq!(
+            sharded.per_superstep.iter().map(|s| s.exchanged_bytes).sum::<u64>(),
+            sharded.exchanged_bytes
+        );
+    }
+
+    /// Sharded PageRank — float-valued, all-active — merges to ranks
+    /// bit-identical to the single-device run at every group size.
+    #[test]
+    fn sharded_pagerank_is_bit_identical(
+        (g, _) in arb_weighted_with_source(),
+        devices in 2u32..5,
+    ) {
+        let cfg = etagraph::pagerank::PageRankConfig {
+            damping: 0.85,
+            iterations: 8,
+            eta: EtaConfig::paper(),
+        };
+        let bits = |ranks: &[f32]| ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+        let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+        let single = etagraph::pagerank::run(&mut dev, &g, &cfg).unwrap();
+
+        let part = eta_shard::GraphPartition::vertex_range(&g, devices);
+        let mut devs = device_group(devices);
+        let mut fabric = eta_mem::PeerFabric::nvlink(devices);
+        let sharded = etagraph::sharded::run_sharded_pagerank(
+            &mut devs, &mut fabric, &part, &g, &cfg,
+        )
+        .unwrap();
+        prop_assert_eq!(bits(&sharded.ranks), bits(&single.ranks));
+        prop_assert_eq!(sharded.iterations, single.iterations);
+    }
+}
