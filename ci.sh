@@ -57,6 +57,18 @@ mv "$PROFILE_OUT/shard.json" "$PROFILE_OUT/shard.first.json"
 cargo run --release -p eta-bench --bin report -- shard --quick --out "$PROFILE_OUT" >/dev/null
 cmp "$PROFILE_OUT/shard.first.json" "$PROFILE_OUT/shard.json"
 
+echo "==> report transfer smoke run (quick suite, twice, byte-identical)"
+cargo run --release -p eta-bench --bin report -- transfer --quick --out "$PROFILE_OUT" >/dev/null
+grep -q "0 label mismatches" "$PROFILE_OUT/transfer.txt"
+grep -q "zero-copy fastest static on 2/2 sparse cells" "$PROFILE_OUT/transfer.txt"
+grep -q "adaptive beats every static mode" "$PROFILE_OUT/transfer.txt"
+grep -q '"crossover_observed": true' "$PROFILE_OUT/transfer.json"
+grep -q '"adaptive_within_tolerance": true' "$PROFILE_OUT/transfer.json"
+grep -q '"adaptive_beats_every_static": true' "$PROFILE_OUT/transfer.json"
+mv "$PROFILE_OUT/transfer.json" "$PROFILE_OUT/transfer.first.json"
+cargo run --release -p eta-bench --bin report -- transfer --quick --out "$PROFILE_OUT" >/dev/null
+cmp "$PROFILE_OUT/transfer.first.json" "$PROFILE_OUT/transfer.json"
+
 echo "==> sharded-vs-single differential (CLI label digests must match)"
 cargo run --release -p eta-cli -- generate rmat --scale 10 --edges 30000 \
     --max-weight 64 --seed 7 --out "$PROFILE_OUT/g.etag" >/dev/null

@@ -1,0 +1,128 @@
+//! `bench_transfer`: the host-side perf baseline behind `BENCH_transfer.json`.
+//!
+//! Every committed report artifact is a function of the *simulated* clock;
+//! this binary is the counterpart that guards **host wall-clock speed** of
+//! the transfer backends — demand paging, upfront prefetch, zero-copy, and
+//! the adaptive per-page-group policy — on the quick-suite Table V graphs
+//! plus the sparse web analog. Each (graph, mode) cell runs BFS end-to-end,
+//! takes the best of `REPS` repetitions, and appends an entry to
+//! `BENCH_transfer.json` at the repository root.
+//!
+//! The file is a *trajectory*: entries are appended (never edited) so a
+//! regression shows up as the newest entry being slower than its
+//! predecessors on the same workload. Wall time is inherently
+//! machine-dependent — compare entries recorded on the same machine, and
+//! read `edges_per_sec_host` (graph edges / host seconds for one full
+//! traversal) as the portable-ish throughput figure. The adaptive cells are
+//! the ones to watch: they price the policy's bookkeeping (per-sector
+//! density counters plus the per-iteration tick), which must stay a few
+//! percent of the demand-paging walk, not a multiple of it.
+//!
+//!     cargo run --release -p eta-bench --bin bench_transfer -- [--label NAME]
+//!
+//! Keep runs in release mode; debug is 10-50x slower through the simulator.
+
+use eta_bench::hosttime::Stopwatch;
+use eta_bench::{suite, transfer};
+use eta_sim::{Device, GpuConfig};
+use etagraph::{engine, Algorithm, EtaConfig};
+use serde_json::{json, Value};
+
+/// Repetitions per configuration; the entry records the fastest.
+const REPS: usize = 2;
+
+/// Times `f` REPS times and returns the best wall seconds.
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sw = Stopwatch::started();
+        f();
+        best = best.min(sw.elapsed_secs());
+    }
+    best
+}
+
+fn run_config(name: &str, g: &eta_graph::Csr, source: u32, mode: etagraph::TransferMode) -> Value {
+    let cfg = EtaConfig {
+        transfer: mode,
+        ..EtaConfig::paper()
+    };
+    let wall = best_of(|| {
+        let mut dev = Device::new(GpuConfig::default_preset());
+        // lint: allow(L-PANIC): every raced mode is host-backed (no OOM); an error is a bench bug
+        engine::run(&mut dev, g, source, Algorithm::Bfs, &cfg).expect("bfs");
+    });
+    eprintln!("  {name} bfs {}: {wall:.3}s host", mode.as_str());
+    json!({
+        "dataset": name,
+        "algorithm": "bfs",
+        "transfer": mode.as_str(),
+        "host_seconds": wall,
+        "edges_per_sec_host": g.m() as f64 / wall,
+    })
+}
+
+fn main() {
+    let label = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--label")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "unlabeled".into())
+    };
+    let total = Stopwatch::started();
+    let mut runs = Vec::new();
+    for name in transfer::graphs_for(suite::Suite::Quick) {
+        let g = suite::graph_for(name, Algorithm::Bfs);
+        let source = suite::dataset(name).source;
+        for mode in transfer::MODES {
+            runs.push(run_config(name, &g, source, mode));
+        }
+    }
+    let (sparse, sparse_source) = transfer::sparse_web();
+    for mode in transfer::MODES {
+        runs.push(run_config("web-sparse", &sparse, sparse_source, mode));
+    }
+    let entry = json!({
+        "schema": "eta-bench-trajectory-v1",
+        "bench": "transfer",
+        "label": label,
+        "suite": "quick",
+        "reps": REPS,
+        "wall_seconds_total": total.elapsed_secs(),
+        "runs": runs,
+    });
+    // lint: allow(L-PANIC): serializing a just-built Value cannot fail
+    let rendered = serde_json::to_string_pretty(&entry).expect("render entry");
+    // Indent the entry one level so it nests inside the top-level array.
+    let indented: String = rendered
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    // The trajectory is a top-level JSON array, append-only. The vendored
+    // serde_json shim is emit-only (no parser), so appending is textual:
+    // strip the closing bracket, splice the new entry, close again.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transfer.json");
+    let doc = match std::fs::read_to_string(path) {
+        Ok(prior) => {
+            let trimmed = prior.trim_end();
+            let Some(body) = trimmed.strip_suffix(']') else {
+                eprintln!("error: {path} is not a JSON array; refusing to append");
+                std::process::exit(2);
+            };
+            let body = body.trim_end().trim_end_matches(',');
+            let sep = if body.trim_end().ends_with('[') {
+                "\n"
+            } else {
+                ",\n"
+            };
+            format!("{body}{sep}{indented}\n]\n")
+        }
+        Err(_) => format!("[\n{indented}\n]\n"),
+    };
+    // lint: allow(L-PANIC): writing the trajectory is this binary's whole job
+    std::fs::write(path, doc).expect("write BENCH_transfer.json");
+    eprintln!("wrote {} ({:.1}s total)", path, total.elapsed_secs());
+}

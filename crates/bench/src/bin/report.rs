@@ -16,9 +16,9 @@ use eta_bench::{figs, tables, Suite};
 use std::io::Write;
 use std::path::PathBuf;
 
-const KNOWN: [&str; 18] = [
+const KNOWN: [&str; 19] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
-    "extras", "sanitize", "serve", "shard", "profile", "faults", "chaos", "lint",
+    "extras", "sanitize", "serve", "shard", "transfer", "profile", "faults", "chaos", "lint",
 ];
 
 fn main() {
@@ -93,6 +93,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         }),
         "serve" => eta_bench::serve_report::serve(suite),
         "shard" => eta_bench::shard::shard(suite),
+        "transfer" => eta_bench::transfer::transfer(suite),
         "profile" => eta_bench::profile_report::profile(suite),
         "faults" => eta_bench::faults_report::faults(suite),
         "chaos" => eta_bench::chaos::chaos(suite),

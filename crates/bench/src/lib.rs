@@ -22,5 +22,6 @@ pub mod stats;
 pub mod suite;
 pub mod tables;
 pub mod text;
+pub mod transfer;
 
 pub use suite::{datasets_for, CellOutcome, Suite};

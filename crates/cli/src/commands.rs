@@ -44,7 +44,8 @@ pub fn usage() -> String {
      \x20                  [--island I] [--seed N] [--max-weight W] --out FILE\n\
      etagraph info FILE [--json]\n\
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
-     \x20            [--k K] [--no-smp] [--no-ump] [--no-um] [--out-of-core] [--pull] [--devices N]\n\
+     \x20            [--k K] [--no-smp] [--transfer demand|prefetch|explicit|zerocopy|adaptive]\n\
+     \x20            [--no-ump] [--no-um] [--out-of-core] [--pull] [--devices N]\n\
      \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
@@ -174,11 +175,35 @@ pub fn eta_config_from(args: &Args) -> Result<EtaConfig, ArgError> {
     if args.switch("no-smp") {
         cfg.smp = false;
     }
-    if args.switch("no-um") {
-        cfg.transfer = TransferMode::ExplicitCopy;
+    // `--transfer` names the backend directly; the paper's ablation
+    // switches (`--no-um`, `--no-ump`) stay as spellings of the same axis.
+    // Naming both is ambiguous, so it is an error rather than a precedence
+    // rule.
+    let explicit_transfer = match args.get("transfer") {
+        Some(s) => Some(TransferMode::parse(s).ok_or_else(|| {
+            ArgError(format!(
+                "unknown --transfer {s:?} (expected demand|prefetch|explicit|zerocopy|adaptive)"
+            ))
+        })?),
+        None => None,
+    };
+    let ablation = if args.switch("no-um") {
+        Some(TransferMode::ExplicitCopy)
     } else if args.switch("no-ump") {
-        cfg.transfer = TransferMode::Unified;
-    }
+        Some(TransferMode::Unified)
+    } else {
+        None
+    };
+    cfg.transfer = match (explicit_transfer, ablation) {
+        (Some(t), None) => t,
+        (None, Some(t)) => t,
+        (None, None) => cfg.transfer,
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--transfer conflicts with --no-um/--no-ump; pick one spelling".into(),
+            ))
+        }
+    };
     if args.switch("out-of-core") {
         cfg.udc = UdcMode::OutOfCore;
     }
@@ -1038,6 +1063,34 @@ mod tests {
         assert_eq!(cfg.k, 8);
         let bad = Args::parse(argv("run g --k 0"));
         assert!(eta_config_from(&bad).is_err());
+    }
+
+    #[test]
+    fn transfer_flag_selects_the_backend() {
+        for (spelling, mode) in [
+            ("demand", TransferMode::Unified),
+            ("prefetch", TransferMode::UnifiedPrefetch),
+            ("explicit", TransferMode::ExplicitCopy),
+            ("zerocopy", TransferMode::ZeroCopy),
+            ("adaptive", TransferMode::Adaptive),
+        ] {
+            let a = Args::parse(argv(&format!("run g --transfer {spelling}")));
+            assert_eq!(eta_config_from(&a).unwrap().transfer, mode);
+        }
+        // Unknown value is a named error, not a silent default.
+        let bad = Args::parse(argv("run g --transfer mapped"));
+        let err = eta_config_from(&bad).unwrap_err();
+        assert!(err.0.contains("mapped"), "{err}");
+        // Mixing the direct spelling with an ablation switch is ambiguous.
+        let both = Args::parse(argv("run g --transfer adaptive --no-um"));
+        let err = eta_config_from(&both).unwrap_err();
+        assert!(err.0.contains("conflicts"), "{err}");
+        // The ablation switches still work on their own.
+        let ab = Args::parse(argv("run g --no-um"));
+        assert_eq!(
+            eta_config_from(&ab).unwrap().transfer,
+            TransferMode::ExplicitCopy
+        );
     }
 
     #[test]

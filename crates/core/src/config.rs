@@ -73,6 +73,43 @@ pub enum TransferMode {
     /// Pinned host memory mapped into the device; every access crosses the
     /// interconnect (§IV-B discusses this alternative).
     ZeroCopy,
+    /// HyTGraph-style hybrid: unified allocation whose 64 KiB page groups
+    /// are each served by demand paging, prefetch, or zero-copy, re-decided
+    /// every iteration from observed access density (see
+    /// `eta_mem::adaptive`). Labels are byte-identical to every static mode
+    /// — only timing differs.
+    Adaptive,
+}
+
+impl TransferMode {
+    /// CLI spelling (`--transfer {demand,prefetch,zerocopy,adaptive}`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "demand" => Some(TransferMode::Unified),
+            "prefetch" => Some(TransferMode::UnifiedPrefetch),
+            "explicit" => Some(TransferMode::ExplicitCopy),
+            "zerocopy" => Some(TransferMode::ZeroCopy),
+            "adaptive" => Some(TransferMode::Adaptive),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransferMode::Unified => "demand",
+            TransferMode::UnifiedPrefetch => "prefetch",
+            TransferMode::ExplicitCopy => "explicit",
+            TransferMode::ZeroCopy => "zerocopy",
+            TransferMode::Adaptive => "adaptive",
+        }
+    }
+
+    /// Whether graph topology lives in explicit device allocations (the
+    /// footprint accounting serve admission keys on). Every other mode keeps
+    /// topology host-backed.
+    pub fn topology_is_explicit(self) -> bool {
+        matches!(self, TransferMode::ExplicitCopy)
+    }
 }
 
 /// Where the Unified Degree Cut transformation runs (§III-A).
@@ -166,6 +203,22 @@ impl EtaConfig {
             ..Self::default()
         }
     }
+
+    /// Zero-copy transfer backend (EMOGI-style direct host access).
+    pub fn zero_copy() -> Self {
+        EtaConfig {
+            transfer: TransferMode::ZeroCopy,
+            ..Self::default()
+        }
+    }
+
+    /// Adaptive per-region transfer policy (HyTGraph-style).
+    pub fn adaptive() -> Self {
+        EtaConfig {
+            transfer: TransferMode::Adaptive,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +242,24 @@ mod tests {
         assert_eq!(EtaConfig::without_ump().transfer, TransferMode::Unified);
         assert!(!EtaConfig::without_smp().smp);
         assert_eq!(EtaConfig::without_um().transfer, TransferMode::ExplicitCopy);
+        assert_eq!(EtaConfig::adaptive().transfer, TransferMode::Adaptive);
+        assert_eq!(EtaConfig::zero_copy().transfer, TransferMode::ZeroCopy);
         assert_eq!(EtaConfig::default().k, 16);
+    }
+
+    #[test]
+    fn transfer_mode_parse_roundtrip() {
+        for m in [
+            TransferMode::Unified,
+            TransferMode::UnifiedPrefetch,
+            TransferMode::ExplicitCopy,
+            TransferMode::ZeroCopy,
+            TransferMode::Adaptive,
+        ] {
+            assert_eq!(TransferMode::parse(m.as_str()), Some(m));
+            assert_eq!(m.topology_is_explicit(), m == TransferMode::ExplicitCopy);
+        }
+        assert_eq!(TransferMode::parse("um"), None);
+        assert_eq!(TransferMode::parse(""), None);
     }
 }

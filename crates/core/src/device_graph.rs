@@ -42,7 +42,7 @@ impl DeviceGraph {
         let ci_len = csr.col_idx.len() as u64;
 
         let (row_offsets, col_idx, weights, end) = match mode {
-            TransferMode::Unified | TransferMode::UnifiedPrefetch => {
+            TransferMode::Unified | TransferMode::UnifiedPrefetch | TransferMode::Adaptive => {
                 let ro = dev.mem.alloc_unified(ro_len);
                 let ci = dev.mem.alloc_unified(ci_len.max(1));
                 let w = csr
@@ -55,6 +55,16 @@ impl DeviceGraph {
                 dev.mem.host_write(ci, 0, &csr.col_idx);
                 if let (Some(ws), Some(wdata)) = (w, &csr.weights) {
                     dev.mem.host_write(ws, 0, wdata);
+                }
+                // Adaptive: same unified allocations, with the per-group
+                // policy manager observing them. Every group starts on demand
+                // paging; the engine drives transitions via `adaptive_tick`.
+                if mode == TransferMode::Adaptive {
+                    dev.mem.enable_adaptive(ro);
+                    dev.mem.enable_adaptive(ci);
+                    if let Some(ws) = w {
+                        dev.mem.enable_adaptive(ws);
+                    }
                 }
                 // Note: `cudaMemPrefetchAsync` is issued by the engine after
                 // the label initialization copies, matching Procedure 1's
@@ -115,7 +125,7 @@ impl DeviceGraph {
         {
             match self.mode {
                 TransferMode::ExplicitCopy => dev.mem.free_explicit(s),
-                TransferMode::Unified | TransferMode::UnifiedPrefetch => {
+                TransferMode::Unified | TransferMode::UnifiedPrefetch | TransferMode::Adaptive => {
                     dev.mem.invalidate_unified(s)
                 }
                 TransferMode::ZeroCopy => {}

@@ -25,7 +25,7 @@
 //!   transposed graph.
 
 use crate::active_set::{DeviceQueue, VirtualQueue};
-use crate::config::{Algorithm, EtaConfig, UdcMode};
+use crate::config::{Algorithm, EtaConfig, TransferMode, UdcMode};
 use crate::device_graph::DeviceGraph;
 use crate::error::{check_source, QueryError};
 use crate::kernels::{PullBfsKernel, TraversalKernel};
@@ -365,6 +365,21 @@ pub fn run_query_ckpt(
 
     while act_len > 0 {
         iter += 1;
+        // Adaptive transfer policy: fold last iteration's access density
+        // into per-group backend decisions before this iteration's kernels
+        // touch memory, announcing the coming frontier's edge volume so a
+        // dense wave escalates regions to streaming *before* it breaks
+        // (observer-side degree sum, like the pull check below).
+        // Fire-and-forget like `dg.prefetch` — transitions queue on the
+        // link and kernels stall on page arrival.
+        if cfg.transfer == TransferMode::Adaptive {
+            let frontier = dev.mem.host_read(queues.0.items, 0, act_len as u64);
+            let out_edges: u64 = frontier
+                .iter()
+                .map(|&v| (csr.row_offsets[v as usize + 1] - csr.row_offsets[v as usize]) as u64)
+                .sum();
+            dev.mem.adaptive_tick(now, out_edges * 4);
+        }
         let start_ns = now;
         let (act, next) = (&queues.0, &queues.1);
         now = next.reset(dev, now);
@@ -619,6 +634,7 @@ mod tests {
             TransferMode::Unified,
             TransferMode::ExplicitCopy,
             TransferMode::ZeroCopy,
+            TransferMode::Adaptive,
         ] {
             let cfg = EtaConfig {
                 transfer,

@@ -14,7 +14,7 @@
 //! against the `f64` host reference within a tolerance.
 
 use crate::active_set::VirtualQueue;
-use crate::config::EtaConfig;
+use crate::config::{EtaConfig, TransferMode};
 use crate::device_graph::DeviceGraph;
 use crate::error::QueryError;
 use crate::udc::shadow_count_graph;
@@ -372,6 +372,16 @@ pub fn run(dev: &mut Device, csr: &Csr, cfg: &PageRankConfig) -> Result<PageRank
     // host-side from the rank snapshot (observer arithmetic, the base-term
     // scalar a real implementation computes with a tiny reduction kernel).
     for _ in 0..cfg.iterations {
+        // Adaptive transfer policy: fold last iteration's access density into
+        // per-group routing decisions before this iteration's kernels run.
+        // PageRank is all-active — every iteration sweeps every edge — so
+        // the announced volume is the full edge array and regions escalate
+        // to streaming from the first boundary (prefetch is provably the
+        // right backend for a dense sweep).
+        // Fire-and-forget like `dg.prefetch` — kernels stall on page arrival.
+        if cfg.eta.transfer == TransferMode::Adaptive {
+            dev.mem.adaptive_tick(now, csr.m() as u64 * 4);
+        }
         let rank_words = dev.mem.host_read(ranks, 0, n as u64);
         let dangling: f32 = (0..n as usize)
             .filter(|&v| csr.degree(v as u32) == 0)

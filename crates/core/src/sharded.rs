@@ -40,7 +40,7 @@
 //! shard holds.
 
 use crate::active_set::VirtualQueue;
-use crate::config::{Algorithm, EtaConfig, UdcMode};
+use crate::config::{Algorithm, EtaConfig, TransferMode, UdcMode};
 use crate::device_graph::DeviceGraph;
 use crate::engine::{self, QueryResources};
 use crate::error::{check_source, QueryError};
@@ -366,6 +366,7 @@ fn drive(
             shard_iteration(
                 &mut devs[s],
                 &mut states[s],
+                &part.shards[s].csr,
                 alg,
                 cfg,
                 step,
@@ -535,6 +536,7 @@ fn drive(
 fn shard_iteration(
     dev: &mut Device,
     st: &mut ShardState,
+    shard_csr: &Csr,
     alg: Algorithm,
     cfg: &EtaConfig,
     step: u32,
@@ -543,6 +545,20 @@ fn shard_iteration(
     kernel_ns: &mut u64,
 ) -> Result<(), QueryError> {
     let tpb = cfg.threads_per_block;
+    // Adaptive policy tick at the superstep boundary, per shard (each shard
+    // device runs its own policy over its own partition's regions),
+    // announcing this superstep's local frontier edge volume so a dense
+    // wave escalates the shard's regions to streaming before it breaks.
+    if cfg.transfer == TransferMode::Adaptive {
+        let frontier = dev.mem.host_read(st.queues.0.items, 0, st.act_len as u64);
+        let out_edges: u64 = frontier
+            .iter()
+            .map(|&v| {
+                (shard_csr.row_offsets[v as usize + 1] - shard_csr.row_offsets[v as usize]) as u64
+            })
+            .sum();
+        dev.mem.adaptive_tick(st.clock, out_edges * 4);
+    }
     let start_ns = st.clock;
     let (act, next) = (st.queues.0, st.queues.1);
     let mut now = next.reset(dev, st.clock);
@@ -893,6 +909,17 @@ pub fn run_sharded_pagerank(
     let mut exchanged_bytes = 0u64;
 
     for it in 0..cfg.iterations {
+        // Adaptive policy tick at the superstep boundary, per shard device.
+        // All-active sweep: each shard announces its full local edge volume,
+        // so shard regions escalate to streaming from the first boundary.
+        // Fire-and-forget: transitions queue on each shard's own link.
+        if cfg.eta.transfer == TransferMode::Adaptive {
+            for (s, ps) in shards_dev.iter().enumerate() {
+                devs[s]
+                    .mem
+                    .adaptive_tick(ps.clock, part.shards[s].local_m() * 4);
+            }
+        }
         let start_ns = shards_dev.iter().map(|ps| ps.clock).min().unwrap_or(0);
         // Dangling mass and base term, folded in ascending global vertex
         // order — the same sequence of f32 adds as the single-device host

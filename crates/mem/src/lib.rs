@@ -20,6 +20,10 @@
 //! * [`peer::PeerFabric`] — NVLink-style device↔device links (one serially
 //!   occupied link per device pair) used by the sharded engine's halo
 //!   exchanges.
+//! * [`adaptive`] — the HyTGraph-style per-page-group transfer policy:
+//!   observes access density each iteration and serves every 64 KiB group
+//!   of a unified region by demand paging, range prefetch, or zero-copy,
+//!   with hysteresis so decisions are deterministic and byte-stable.
 //!
 //! The memory system also owns the [`eta_prof::Profiler`]: every PCIe copy
 //! and UM migration/prefetch/eviction that lands on a timeline is mirrored
@@ -31,6 +35,7 @@
 //! out ("fine-grained memory access when reading neighbor vertex data,
 //! usually stored in 4-byte format") and keeps the simulator safe-Rust-only.
 
+pub mod adaptive;
 pub mod cache;
 pub mod coalesce;
 pub mod pcie;
@@ -39,6 +44,7 @@ pub mod system;
 pub mod timeline;
 pub mod um;
 
+pub use adaptive::{AdaptiveRegion, GroupDecision, TransferChoice};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::{sectors_for_warp, SECTOR_BYTES, WORD_BYTES};
 pub use pcie::PcieLink;

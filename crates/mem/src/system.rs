@@ -8,12 +8,14 @@
 //! host-backed and never fail; their device residency is managed by
 //! [`crate::um::UmDriver`].
 
+use crate::adaptive::{AdaptiveRegion, GroupDecision, TransferChoice};
 use crate::pcie::PcieLink;
 use crate::timeline::{Span, SpanKind};
 use crate::um::{UmDriver, UmRegion, PAGE_BYTES, PAGE_WORDS};
 use crate::Ns;
 use eta_fault::{DeviceFault, DeviceFaultState, FaultKind, FaultPlan};
 use eta_prof::{ArgValue, Profiler, Track};
+use std::collections::BTreeMap;
 
 /// How a region behaves with respect to device residency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,8 +166,15 @@ pub struct MemSystem {
     regions: Vec<Region>,
     pub pcie: PcieLink,
     pub um: UmDriver,
-    /// Bytes accessed through zero-copy regions (always cross the link).
+    /// Bytes accessed through zero-copy regions or adaptive zero-copy page
+    /// groups (always cross the link).
     pub zero_copy_bytes: u64,
+    /// Per-region adaptive transfer policy state; empty unless
+    /// [`MemSystem::enable_adaptive`] was called, in which case unified
+    /// accesses are partitioned between demand paging and zero-copy per
+    /// page group. A `BTreeMap` so every policy walk is in region order —
+    /// decisions must be deterministic.
+    adaptive: BTreeMap<RegionId, AdaptiveRegion>,
     /// Memcheck shadow state; `None` unless a sanitizer enabled it.
     shadow: Option<InitShadow>,
     /// Event recorder shared by every layer above (disabled by default —
@@ -186,6 +195,7 @@ impl MemSystem {
             pcie,
             um: UmDriver::new(),
             zero_copy_bytes: 0,
+            adaptive: BTreeMap::new(),
             shadow: None,
             prof: Profiler::off(),
             faults: DeviceFaultState::default(),
@@ -348,6 +358,141 @@ impl MemSystem {
         }
     }
 
+    // ---- adaptive transfer policy ----------------------------------------
+
+    /// Puts a unified region under the adaptive transfer policy: its page
+    /// groups start on demand paging and migrate between demand, prefetch
+    /// and zero-copy as [`MemSystem::adaptive_tick`] observes their access
+    /// density. No-op for explicit and zero-copy regions.
+    pub fn enable_adaptive(&mut self, slice: DSlice) {
+        if let RegionKind::Unified { um_index } = self.regions[slice.region].kind {
+            let n_pages = self.um.region(um_index).n_pages();
+            self.adaptive
+                .insert(slice.region, AdaptiveRegion::new(um_index, n_pages));
+        }
+    }
+
+    pub fn region_is_adaptive(&self, region: RegionId) -> bool {
+        self.adaptive.contains_key(&region)
+    }
+
+    /// Whether an access to `sector` of `region` is currently served
+    /// zero-copy (the warp model charges per-sector link latency for these
+    /// instead of consulting the cache hierarchy). Only non-resident pages
+    /// of a zero-copy group route over the link: pages migrated before the
+    /// group switched keep serving locally until evicted.
+    pub fn sector_zero_copy(&self, region: RegionId, sector: u64) -> bool {
+        match self.adaptive.get(&region) {
+            Some(ar) => {
+                let start_word = self.regions[region].start_word;
+                let p = ((sector * 8).saturating_sub(start_word) / PAGE_WORDS) as usize;
+                ar.choice_for_page(p) == TransferChoice::ZeroCopy
+                    && !self.um.region(ar.um_index).page_resident(p)
+            }
+            None => false,
+        }
+    }
+
+    /// Group counts `(demand, prefetch, zero_copy)` for an adaptive region,
+    /// or `None` if the region is not adaptive. Read by the transfer report.
+    pub fn adaptive_group_counts(&self, region: RegionId) -> Option<(u64, u64, u64)> {
+        self.adaptive.get(&region).map(|ar| ar.group_counts())
+    }
+
+    /// Device-wide adaptive totals `(demand, prefetch, zero_copy,
+    /// escalated_regions)` summed over every adaptive region; `None` when
+    /// the policy is not in use. The transfer report prints these so the
+    /// decision mix behind each timing is visible.
+    pub fn adaptive_totals(&self) -> Option<(u64, u64, u64, u64)> {
+        if self.adaptive.is_empty() {
+            return None;
+        }
+        let mut t = (0u64, 0u64, 0u64, 0u64);
+        for ar in self.adaptive.values() {
+            let (d, p, z) = ar.group_counts();
+            t.0 += d;
+            t.1 += p;
+            t.2 += z;
+            t.3 += u64::from(ar.is_escalated());
+        }
+        Some(t)
+    }
+
+    /// Iteration boundary for the adaptive policy: folds this iteration's
+    /// density observations into per-group backend decisions (with
+    /// hysteresis) and applies the transitions — prefetch groups are
+    /// (re)streamed, zero-copy groups simply stop acquiring residency (their
+    /// already-migrated pages keep serving locally until the LRU reclaims
+    /// them). `upcoming_bytes` is the engine's announcement of the coming
+    /// iteration's read volume (its frontier's out-edges in bytes, `0` when
+    /// unknown) — a large announcement escalates regions to streaming
+    /// before the wave (see [`crate::adaptive`]). Returns the completion
+    /// time of the latest transfer issued, `now` when nothing moved. With
+    /// no adaptive regions this is a no-op, byte-identical to not calling
+    /// it.
+    pub fn adaptive_tick(&mut self, now: Ns, upcoming_bytes: u64) -> Ns {
+        if self.adaptive.is_empty() {
+            return now;
+        }
+        let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
+        let mut end = now;
+        // Decisions are collected first: applying them borrows `self.um`
+        // and `self.pcie`, which the policy map borrow would otherwise pin.
+        let ticked: Vec<(usize, Vec<GroupDecision>)> = self
+            .adaptive
+            .values_mut()
+            .map(|ar| (ar.um_index, ar.tick(upcoming_bytes)))
+            .collect();
+        for (um_index, decisions) in ticked {
+            // Adjacent prefetch groups coalesce into maximal page runs, so
+            // an escalated region streams like `cudaMemPrefetchAsync`
+            // (2 MiB chunks) instead of one transfer per 64 KiB group.
+            // Demand and zero-copy decisions need no device work: demand
+            // groups fault as before, zero-copy groups stop acquiring
+            // residency from here on.
+            let mut runs: Vec<(usize, usize)> = Vec::new();
+            for d in decisions {
+                if d.choice == TransferChoice::Prefetch {
+                    match runs.last_mut() {
+                        Some((_, last)) if *last + 1 == d.first_page => *last = d.last_page,
+                        _ => runs.push((d.first_page, d.last_page)),
+                    }
+                }
+            }
+            for (first_page, last_page) in runs {
+                // Called every tick: a fully resident run costs nothing
+                // (no span), an evicted group inside it is healed.
+                let mark = self.pcie.timeline.spans().len();
+                let e = self.um.prefetch_range(
+                    um_index,
+                    first_page,
+                    last_page,
+                    now,
+                    budget,
+                    &mut self.pcie,
+                );
+                self.prof_link_spans(mark);
+                end = end.max(e);
+            }
+        }
+        end
+    }
+
+    /// Records one kernel launch's aggregate zero-copy traffic as a
+    /// [`SpanKind::ZeroCopyRead`] span on the link: zero-copy reads are not
+    /// free bandwidth — they occupy the same interconnect as migrations, at
+    /// full wire rate (no pageable staging, no fault service). Returns the
+    /// span's end time; `now` when no bytes moved.
+    pub fn charge_zero_copy(&mut self, bytes: u64, now: Ns) -> Ns {
+        if bytes == 0 {
+            return now;
+        }
+        let mark = self.pcie.timeline.spans().len();
+        let (_, end) = self.pcie.transfer(SpanKind::ZeroCopyRead, bytes, now);
+        self.prof_link_spans(mark);
+        end
+    }
+
     // ---- host-side data access (no timing) -------------------------------
 
     /// Host write without transfer cost (dataset construction before timing).
@@ -442,12 +587,39 @@ impl MemSystem {
             }
             RegionKind::Unified { um_index } => {
                 let start_word = self.regions[region].start_word;
-                // sectors are sorted; map to sorted page indices.
-                let mut pages: Vec<usize> = sectors
-                    .iter()
-                    .map(|&s| ((s * 8).saturating_sub(start_word) / PAGE_WORDS) as usize)
-                    .collect();
+                // sectors are sorted; map to sorted page indices. Under the
+                // adaptive policy, sectors landing in zero-copy groups skip
+                // page migration entirely: they are counted as zero-copy
+                // traffic (the launch charges them as one ZeroCopyRead span)
+                // while every sector still feeds the density estimator.
+                let mut pages: Vec<usize> = Vec::with_capacity(sectors.len());
+                let mut zc_sectors = 0u64;
+                if let Some(ar) = self.adaptive.get_mut(&region) {
+                    let um_region = self.um.region(ar.um_index);
+                    for &s in sectors {
+                        let p = ((s * 8).saturating_sub(start_word) / PAGE_WORDS) as usize;
+                        ar.note_sector(p);
+                        if ar.choice_for_page(p) == TransferChoice::ZeroCopy
+                            && !um_region.page_resident(p)
+                        {
+                            zc_sectors += 1;
+                        } else {
+                            pages.push(p);
+                        }
+                    }
+                    self.zero_copy_bytes += zc_sectors * 32;
+                } else {
+                    pages.extend(
+                        sectors
+                            .iter()
+                            .map(|&s| ((s * 8).saturating_sub(start_word) / PAGE_WORDS) as usize),
+                    );
+                }
                 pages.dedup();
+                if pages.is_empty() && zc_sectors > 0 {
+                    // Whole access served zero-copy: no residency work.
+                    return now;
+                }
                 let budget = self.capacity_bytes.saturating_sub(self.explicit_used);
                 let mark = self.pcie.timeline.spans().len();
                 let mut end = self
@@ -587,6 +759,84 @@ mod tests {
         let a = m.alloc_zero_copy(1024);
         m.ensure_resident(a.region, &[a.word_off / 8, a.word_off / 8 + 1], 0);
         assert_eq!(m.zero_copy_bytes, 64);
+    }
+
+    #[test]
+    fn charge_zero_copy_records_a_link_span() {
+        let mut m = system(1 << 20);
+        m.prof.set_enabled(true);
+        let end = m.charge_zero_copy(12_000, 0);
+        assert!(end > 0, "zero-copy traffic occupies the link");
+        let spans = m.pcie.timeline.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::ZeroCopyRead);
+        assert_eq!(spans[0].bytes, 12_000);
+        // Mirrored 1:1 into the profiler like every other link span.
+        assert_eq!(m.prof.len(), 1);
+        assert_eq!(m.prof.events()[0].name, "zero_copy_read");
+        // Zero bytes: no span, no time.
+        assert_eq!(m.charge_zero_copy(0, end), end);
+        assert_eq!(m.pcie.timeline.spans().len(), 1);
+    }
+
+    #[test]
+    fn adaptive_disabled_map_is_inert() {
+        // Same access stream with and without the (empty) adaptive map code
+        // path: identical timelines.
+        let mut m = system(1 << 24);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 64);
+        let t = m.ensure_resident(a.region, &[a.word_off / 8], 0);
+        assert!(!m.region_is_adaptive(a.region));
+        assert_eq!(m.adaptive_tick(t, 0), t, "no adaptive regions: no-op");
+        assert_eq!(m.zero_copy_bytes, 0);
+    }
+
+    #[test]
+    fn adaptive_sparse_group_goes_zero_copy() {
+        let mut m = system(1 << 24);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 64);
+        m.enable_adaptive(a);
+        assert!(m.region_is_adaptive(a.region));
+        let s0 = a.word_off / 8; // one sector of page 0, every iteration
+        let mut now = 0;
+        for _ in 0..crate::adaptive::HYSTERESIS {
+            now = m.ensure_resident(a.region, &[s0], now);
+            now = m.adaptive_tick(now, 0);
+        }
+        // Page 0 was migrated during the demand phase and stays resident:
+        // it keeps serving locally even though its group went zero-copy.
+        assert!(!m.sector_zero_copy(a.region, s0));
+        // A cold page of the same group routes zero-copy: no migration,
+        // no new residency, traffic counted.
+        // Page 15 (same 16-page group): outside page 0's 8-page fault batch.
+        let s1 = s0 + 15 * (PAGE_BYTES / 32);
+        assert!(m.sector_zero_copy(a.region, s1));
+        let resident_before = m.um.resident_bytes();
+        let zc_before = m.zero_copy_bytes;
+        let t = m.ensure_resident(a.region, &[s1], now);
+        assert_eq!(t, now);
+        assert_eq!(m.um.resident_bytes(), resident_before);
+        assert_eq!(m.zero_copy_bytes, zc_before + 32);
+    }
+
+    #[test]
+    fn adaptive_dense_group_gets_prefetched() {
+        let mut m = system(1 << 24);
+        let a = m.alloc_unified(PAGE_BYTES / 4 * 32);
+        m.enable_adaptive(a);
+        // Touch 12 distinct pages of group 0 (dense) for HYSTERESIS rounds.
+        let sectors: Vec<u64> = (0..12).map(|p| a.word_off / 8 + p * 128).collect();
+        let mut now = 0;
+        for _ in 0..crate::adaptive::HYSTERESIS {
+            now = m.ensure_resident(a.region, &sectors, now);
+            now = m.adaptive_tick(now, 0);
+        }
+        let (_, prefetch_groups, _) = m.adaptive_group_counts(a.region).unwrap();
+        assert_eq!(prefetch_groups, 1, "dense group promoted to prefetch");
+        // The group is fully resident: 16 pages of group 0 (+ nothing else —
+        // group 1 was never touched and stays on demand).
+        assert_eq!(m.um.region(0).resident_pages(), 16);
+        assert!(!m.sector_zero_copy(a.region, sectors[0]));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum SpanKind {
     Eviction,
     /// Peer-to-peer device copy over an NVLink-style link (see `peer`).
     PeerCopy,
+    /// Aggregate zero-copy traffic of one kernel launch: sector-sized direct
+    /// host reads from a pinned mapping (no page migration). Recorded once
+    /// per launch with the launch's total zero-copy bytes.
+    ZeroCopyRead,
     /// Kernel execution.
     Compute,
 }
@@ -42,6 +46,7 @@ impl SpanKind {
             SpanKind::Prefetch => "um_prefetch",
             SpanKind::Eviction => "um_eviction",
             SpanKind::PeerCopy => "peer_copy",
+            SpanKind::ZeroCopyRead => "zero_copy_read",
             SpanKind::Compute => "kernel",
         }
     }

@@ -133,6 +133,13 @@ impl UmRegion {
         self.pages.iter().filter(|p| p.resident).count()
     }
 
+    /// Whether one page is currently resident (the adaptive policy routes
+    /// zero-copy reads only to pages that are *not*).
+    #[inline]
+    pub fn page_resident(&self, page: usize) -> bool {
+        self.pages[page].resident
+    }
+
     /// Page index containing a global word address.
     pub fn page_of_word(&self, word_addr: u64) -> usize {
         debug_assert!(word_addr >= self.start_word);
@@ -237,7 +244,7 @@ impl UmDriver {
         // Group contiguous missing pages, round each group out to the fault
         // granularity over non-resident neighbours, cap at MAX_BATCH_BYTES.
         let batches = self.plan_batches(region_idx, &missing);
-        for (first, last) in batches {
+        for &(first, last) in &batches {
             // Only non-resident pages move; planning guarantees this, but
             // recompute defensively so accounting can never drift.
             let bytes: u64 = (first..=last)
@@ -247,7 +254,14 @@ impl UmDriver {
             if bytes == 0 {
                 continue;
             }
-            self.make_room(region_idx, first, last, bytes, budget_bytes, now, link);
+            // Every batch of this fault event is protected from eviction, not
+            // just the current one: under a tight budget, a later batch's
+            // eviction pass must not reclaim pages an earlier batch of the
+            // same event just migrated (the uk-2006 double-charge anomaly —
+            // the page's arrival was charged, then it vanished before the
+            // kernel read it, so the very next access re-faulted and paid
+            // the full migration again).
+            self.make_room(region_idx, &batches, bytes, budget_bytes, now, link);
             let (_, end) =
                 link.transfer_with_setup(SpanKind::Migration, bytes, now, FAULT_SERVICE_NS);
             let region = &mut self.regions[region_idx];
@@ -320,14 +334,12 @@ impl UmDriver {
         out
     }
 
-    /// Evicts LRU pages (not in `keep_first..=keep_last` of `region_idx`)
-    /// until `incoming_bytes` fits in the budget.
-    #[allow(clippy::too_many_arguments)]
+    /// Evicts LRU pages (skipping the `protect`ed inclusive page ranges of
+    /// `region_idx`) until `incoming_bytes` fits in the budget.
     fn make_room(
         &mut self,
         region_idx: usize,
-        keep_first: usize,
-        keep_last: usize,
+        protect: &[(usize, usize)],
         incoming_bytes: u64,
         budget_bytes: u64,
         now: Ns,
@@ -347,7 +359,7 @@ impl UmDriver {
                 if !st.resident {
                     continue;
                 }
-                if ri == region_idx && (keep_first..=keep_last).contains(&pi) {
+                if ri == region_idx && protect.iter().any(|&(f, l)| (f..=l).contains(&pi)) {
                     continue;
                 }
                 candidates.push((st.last_access, ri, pi));
@@ -386,18 +398,36 @@ impl UmDriver {
         link: &mut PcieLink,
     ) -> Ns {
         let n_pages = self.regions[region_idx].n_pages();
+        self.prefetch_range(region_idx, 0, n_pages - 1, now, budget_bytes, link)
+    }
+
+    /// Streams one inclusive page range of a region to the device in 2 MiB
+    /// chunks, skipping already-resident pages — a no-op (no span, no stats)
+    /// when the whole range is resident, so the adaptive policy can call it
+    /// every iteration to keep its prefetch groups healed after evictions.
+    pub fn prefetch_range(
+        &mut self,
+        region_idx: usize,
+        first_page: usize,
+        last_page: usize,
+        now: Ns,
+        budget_bytes: u64,
+        link: &mut PcieLink,
+    ) -> Ns {
+        let n_pages = self.regions[region_idx].n_pages();
+        let last_page = last_page.min(n_pages - 1);
         let chunk_pages = (PREFETCH_CHUNK_BYTES / PAGE_BYTES) as usize;
         let mut end = now;
-        let mut p = 0usize;
-        while p < n_pages {
-            let last = (p + chunk_pages - 1).min(n_pages - 1);
+        let mut p = first_page;
+        while p <= last_page {
+            let last = (p + chunk_pages - 1).min(last_page);
             // Skip already-resident prefix/suffix inside the chunk.
             let bytes: u64 = (p..=last)
                 .filter(|&q| !self.regions[region_idx].pages[q].resident)
                 .map(|q| self.regions[region_idx].bytes_of_page(q))
                 .sum();
             if bytes > 0 {
-                self.make_room(region_idx, p, last, bytes, budget_bytes, now, link);
+                self.make_room(region_idx, &[(p, last)], bytes, budget_bytes, now, link);
                 let (_, chunk_end) = link.transfer(SpanKind::Prefetch, bytes, now);
                 let region = &mut self.regions[region_idx];
                 for q in p..=last {
@@ -439,6 +469,36 @@ impl UmDriver {
         region.last_batch_end = usize::MAX;
         region.streak = 0;
         self.resident_bytes -= freed;
+    }
+
+    /// Drops residency of one inclusive page range (the adaptive policy
+    /// moving a group to zero-copy: its pages no longer earn their device
+    /// bytes). Returns the bytes freed. Unlike [`Self::invalidate_region`]
+    /// this leaves the density heuristic state (`last_batch_end`, `streak`)
+    /// untouched — the rest of the region keeps demand-faulting normally.
+    pub fn invalidate_pages(
+        &mut self,
+        region_idx: usize,
+        first_page: usize,
+        last_page: usize,
+    ) -> u64 {
+        let region = &mut self.regions[region_idx];
+        let last_page = last_page.min(region.pages.len() - 1);
+        let mut freed = 0u64;
+        for pi in first_page..=last_page {
+            let st = &mut region.pages[pi];
+            if st.resident {
+                freed += {
+                    let start_w = pi as u64 * PAGE_WORDS;
+                    let end_w = (start_w + PAGE_WORDS).min(region.len_words);
+                    (end_w - start_w) * 4
+                };
+            }
+            st.resident = false;
+            st.arrival = 0;
+        }
+        self.resident_bytes -= freed;
+        freed
     }
 
     /// Drops all residency (new experiment on the same data).
@@ -632,6 +692,59 @@ mod tests {
         // Idempotent: a second invalidation frees nothing more.
         d.invalidate_region(a);
         assert_eq!(d.resident_bytes(), both / 2);
+    }
+
+    #[test]
+    fn tight_budget_fault_event_keeps_all_its_batches() {
+        // Regression for the uk-2006 double-charge anomaly: one fault event
+        // produces two batches under a budget that fits exactly one. The
+        // second batch's eviction pass used to reclaim the first batch's
+        // just-migrated pages (only the current batch was protected), so the
+        // kernel re-faulted data whose arrival it had already paid for.
+        let (mut d, r) = driver_with_region(64);
+        let mut l = link();
+        // Budget fits ONE batch: batch 2's make_room must look for victims,
+        // and batch 1's pages are the only resident ones. Protected, the
+        // budget is simply exceeded for the event — never a self-eviction.
+        let budget = FAULT_GROUP_BYTES;
+        let t = d.touch_pages(r, &[16, 32], 0, budget, &mut l);
+        assert!(t > 0);
+        assert_eq!(d.stats.migration_batches.len(), 2, "two disjoint batches");
+        assert_eq!(d.stats.evicted_pages, 0, "batch 2 must not evict batch 1");
+        // Both faulted pages are on-device after the event that charged them.
+        let before = d.stats.migration_batches.len();
+        let t2 = d.touch_pages(r, &[16, 32], t, budget, &mut l);
+        assert_eq!(t2, t, "re-touch is free: no double charge");
+        assert_eq!(d.stats.migration_batches.len(), before);
+    }
+
+    #[test]
+    fn prefetch_range_targets_only_the_range() {
+        let (mut d, r) = driver_with_region(64);
+        let mut l = link();
+        let end = d.prefetch_range(r, 16, 31, 0, u64::MAX, &mut l);
+        assert!(end > 0);
+        assert_eq!(d.region(r).resident_pages(), 16);
+        assert_eq!(d.stats.prefetched_bytes, 16 * PAGE_BYTES);
+        // Idempotent once resident: no new chunk, no time.
+        let chunks = d.stats.prefetch_chunks.len();
+        let end2 = d.prefetch_range(r, 16, 31, end, u64::MAX, &mut l);
+        assert_eq!(end2, end);
+        assert_eq!(d.stats.prefetch_chunks.len(), chunks);
+    }
+
+    #[test]
+    fn invalidate_pages_frees_only_the_range() {
+        let (mut d, r) = driver_with_region(32);
+        let mut l = link();
+        d.prefetch(r, 0, u64::MAX, &mut l);
+        assert_eq!(d.region(r).resident_pages(), 32);
+        let freed = d.invalidate_pages(r, 8, 15);
+        assert_eq!(freed, 8 * PAGE_BYTES);
+        assert_eq!(d.region(r).resident_pages(), 24);
+        assert_eq!(d.resident_bytes(), 24 * PAGE_BYTES);
+        // Idempotent.
+        assert_eq!(d.invalidate_pages(r, 8, 15), 0);
     }
 
     #[test]

@@ -12,7 +12,8 @@ pub enum Track {
     Kernel,
     /// Explicit PCIe copies (`copy_h2d` / `copy_d2h`).
     Transfer,
-    /// Unified-memory traffic: fault migrations, prefetches, evictions.
+    /// Unified-memory and mapped-host traffic: fault migrations, prefetches,
+    /// evictions, and per-launch aggregate zero-copy reads.
     Um,
     /// Engine-level spans: whole queries and per-BFS-iteration frontiers.
     Iteration,

@@ -776,7 +776,7 @@ mod tests {
         let cfg = GroupConfig::default();
         let csr = reg.get("g").unwrap().clone();
         let part = GraphPartition::vertex_range(&csr, 2);
-        let explicit = cfg.eta.transfer == etagraph::TransferMode::ExplicitCopy;
+        let explicit = cfg.eta.transfer.topology_is_explicit();
         let max_shard = part
             .shards
             .iter()

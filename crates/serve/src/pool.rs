@@ -92,13 +92,21 @@ impl DeviceWorker {
     /// the UM driver's own LRU handles its oversubscription.
     pub fn footprint_bytes(csr: &Csr, cfg: &EtaConfig) -> u64 {
         let topo = match cfg.transfer {
+            // Upfront memcpy pins the whole topology in device memory.
             TransferMode::ExplicitCopy => {
                 let ro = csr.row_offsets.len() as u64;
                 let ci = (csr.col_idx.len() as u64).max(1);
                 let w = if csr.is_weighted() { ci } else { 0 };
                 (ro + ci + w) * 4
             }
-            _ => 0,
+            // Unified topology (demand-paged, prefetched, or adaptively
+            // routed) pages in against the remaining budget under the UM
+            // driver's own LRU; zero-copy topology never occupies device
+            // memory at all. Either way admission pins nothing for it.
+            TransferMode::Unified
+            | TransferMode::UnifiedPrefetch
+            | TransferMode::Adaptive
+            | TransferMode::ZeroCopy => 0,
         };
         topo + MultiBfsResources::footprint_bytes(csr, cfg)
     }
@@ -271,6 +279,38 @@ mod tests {
         w.ensure_resident("g1", &g1, &cfg, 0).unwrap();
         let r = w.run_batch("g1", &[5], &cfg, 0).unwrap();
         assert_eq!(r.levels[0], reference::bfs(&g1, 5));
+    }
+
+    #[test]
+    fn zero_copy_footprint_shrinks_and_admits_more_tenants() {
+        let g = small(1);
+        let explicit = DeviceWorker::footprint_bytes(&g, &EtaConfig::without_um());
+        let zc = DeviceWorker::footprint_bytes(&g, &EtaConfig::zero_copy());
+        let adaptive = DeviceWorker::footprint_bytes(&g, &EtaConfig::adaptive());
+        assert!(
+            zc < explicit,
+            "host-mapped topology must not count against device memory"
+        );
+        assert_eq!(zc, adaptive, "both modes pin only the batch state");
+        // The saved topology bytes become admission headroom: a device with
+        // `explicit + zc` capacity holds two zero-copy tenants at once,
+        // while two explicit tenants must churn through eviction.
+        let g2 = small(2);
+        let cap = explicit + zc;
+        let mut w = DeviceWorker::new(0, GpuConfig::gtx1080ti_scaled(cap));
+        let cfg = EtaConfig::zero_copy();
+        w.ensure_resident("g1", &g, &cfg, 0).unwrap();
+        w.ensure_resident("g2", &g2, &cfg, 0).unwrap();
+        assert_eq!(w.evictions, 0, "both tenants fit without churn");
+        assert_eq!(w.resident_count(), 2);
+        let r = w.run_batch("g1", &[0], &cfg, 0).unwrap();
+        assert_eq!(r.levels[0], reference::bfs(&g, 0));
+
+        let mut we = DeviceWorker::new(0, GpuConfig::gtx1080ti_scaled(cap));
+        let cfg_e = EtaConfig::without_um();
+        we.ensure_resident("g1", &g, &cfg_e, 0).unwrap();
+        we.ensure_resident("g2", &g2, &cfg_e, 0).unwrap();
+        assert!(we.evictions >= 1, "explicit tenants cannot coexist here");
     }
 
     #[test]

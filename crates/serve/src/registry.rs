@@ -14,7 +14,7 @@
 
 use eta_graph::Csr;
 use eta_shard::GraphPartition;
-use etagraph::{EtaConfig, TransferMode};
+use etagraph::EtaConfig;
 use std::collections::BTreeMap;
 
 /// Host-side catalog of named graphs.
@@ -65,7 +65,7 @@ impl GraphRegistry {
         devices: u32,
         cfg: &EtaConfig,
     ) -> Option<u64> {
-        let explicit = cfg.transfer == TransferMode::ExplicitCopy;
+        let explicit = cfg.transfer.topology_is_explicit();
         let k = cfg.k;
         self.partition(name, devices).map(|p| {
             p.shards
@@ -123,7 +123,7 @@ mod tests {
         assert!(part.halo_total() > 0, "an rmat cut has cross edges");
         // The admitted size is the max *local* footprint; any shard with a
         // non-empty halo is strictly bigger than its owned range alone.
-        let explicit = cfg.transfer == etagraph::TransferMode::ExplicitCopy;
+        let explicit = cfg.transfer.topology_is_explicit();
         let max_local = part
             .shards
             .iter()

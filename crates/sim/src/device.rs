@@ -189,6 +189,7 @@ impl Device {
         if let Some(san) = self.sanitizer.as_mut() {
             san.begin_launch(kernel.name());
         }
+        let zc_mark = self.mem.zero_copy_bytes;
         for block in 0..launch.blocks {
             let sm = (block as usize) % self.cfg.num_sms;
             shared.fill(0);
@@ -244,6 +245,17 @@ impl Device {
         // recorded span covers the stall, which is exactly the overlapped
         // region Fig. 4 plots.
         let mut end_ns = (start_ns + metrics.time_ns).max(metrics.data_ready_ns);
+
+        // Zero-copy traffic of this launch occupies the PCIe link as one
+        // aggregate ZeroCopyRead span (per-sector latency is already in the
+        // warps' stall cycles; this adds the *bandwidth* bound and makes the
+        // traffic visible to Fig.-4-style overlap accounting). The launch
+        // cannot retire before its host reads have all crossed the link.
+        let zc_bytes = self.mem.zero_copy_bytes - zc_mark;
+        if zc_bytes > 0 {
+            let zc_end = self.mem.charge_zero_copy(zc_bytes, start_ns);
+            end_ns = end_ns.max(zc_end);
+        }
 
         // Fault injection (eta-fault): inert unless a plan is installed, so
         // the default path stays byte-identical.

@@ -30,7 +30,7 @@
 
 use crate::config::WARP_SIZE;
 use crate::warp::{Lanes, WarpId};
-use eta_mem::system::{DSlice, MemSystem};
+use eta_mem::system::{DSlice, MemSystem, RegionKind};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -116,6 +116,11 @@ pub enum FindingKind {
     /// An injected ECC error detected during a launch (eta-fault): corrected
     /// single-bit flips are warnings, uncorrectable double-bit flips errors.
     EccError,
+    /// Store or atomic to a zero-copy region (lint). Writes over the mapped
+    /// pinned path are uncached and serialize on the interconnect — real
+    /// zero-copy graph layouts keep mutable state (labels, frontiers) in
+    /// device memory and map only read-only topology.
+    ZeroCopyStore,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -499,6 +504,24 @@ impl Sanitizer {
         }
         if active == 0 {
             return;
+        }
+        if self.mode.lint()
+            && kind != AccessKind::Load
+            && matches!(mem.region_kind(s.region), RegionKind::ZeroCopy)
+        {
+            let lane = mask.trailing_zeros();
+            self.record(
+                FindingKind::ZeroCopyStore,
+                Severity::Warning,
+                id,
+                lane,
+                s.region as u64,
+                s.word_off + idx[lane as usize] as u64,
+                idx[lane as usize] as u64,
+                s.len,
+                "store/atomic to a zero-copy mapping: uncached host writes serialize on the link"
+                    .to_string(),
+            );
         }
         // Atomics read-modify-write, so they join loads for the init check.
         let init_check = self.mode.memcheck() && kind != AccessKind::Store;
@@ -976,6 +999,30 @@ mod tests {
             u32::MAX,
         );
         assert_eq!(san.lint[0].bank_conflict_excess, 15);
+    }
+
+    #[test]
+    fn zero_copy_store_is_a_lint_warning() {
+        let mut san = Sanitizer::new(SanitizerMode::Full);
+        let mut mem = MemSystem::new(1 << 20, eta_mem::PcieLink::new(12.0, 1000));
+        let zc = mem.alloc_zero_copy(64);
+        san.begin_launch("k");
+        let idx = [0u32; WARP_SIZE];
+        // Loads through zero-copy are the intended pattern: clean.
+        san.global_access(wid(0, 0), AccessKind::Load, zc, &idx, 1, 1, &mem);
+        assert!(san.report().warnings.is_empty());
+        // A store is flagged — as a warning, so gates stay green.
+        san.global_access(wid(0, 0), AccessKind::Store, zc, &idx, 1, 1, &mem);
+        san.global_access(wid(0, 0), AccessKind::Atomic, zc, &idx, 1, 1, &mem);
+        let rep = san.report();
+        assert!(rep.is_clean(), "warnings never break is_clean");
+        assert_eq!(rep.warnings.len(), 1, "site-folded");
+        assert_eq!(rep.warnings[0].kind, FindingKind::ZeroCopyStore);
+        assert_eq!(rep.warnings[0].occurrences, 2);
+        // Stores to a normal explicit region are not flagged.
+        let ex = mem.alloc_explicit(64).unwrap();
+        san.global_access(wid(0, 0), AccessKind::Store, ex, &idx, 1, 1, &mem);
+        assert_eq!(san.report().warnings.len(), 1);
     }
 
     #[test]

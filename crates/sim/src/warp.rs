@@ -258,13 +258,17 @@ impl<'a> WarpCtx<'a> {
             .mem
             .ensure_resident(s.region, &self.sector_scratch, self.start_ns);
         self.data_ready_ns = self.data_ready_ns.max(arrival);
-        let zero_copy = matches!(self.mem.region_kind(s.region), RegionKind::ZeroCopy);
+        let all_zero_copy = matches!(self.mem.region_kind(s.region), RegionKind::ZeroCopy);
+        // Unified regions under the adaptive policy serve some page groups
+        // zero-copy; the per-sector check is skipped entirely otherwise so
+        // the static modes keep their flat fast path.
+        let adaptive = !all_zero_copy && self.mem.region_is_adaptive(s.region);
 
         let mut worst = self.cfg.l1_latency;
         let mut l1_inserted = 0u64; // load sectors (only loads allocate in L1)
         let mut l2_inserted = 0u64; // sectors that reached L2
         for &sec in &self.sector_scratch {
-            if zero_copy {
+            if all_zero_copy || (adaptive && self.mem.sector_zero_copy(s.region, sec)) {
                 worst = worst.max(self.cfg.zero_copy_latency);
                 continue;
             }

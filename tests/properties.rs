@@ -6,6 +6,7 @@
 
 use eta_graph::{reference, Csr, Vst};
 use eta_sim::GpuConfig;
+use etagraph::pagerank::PageRankConfig;
 use etagraph::udc::{shadow_count_graph, shadow_slices};
 use etagraph::{Algorithm, EtaConfig, EtaGraph, TransferMode};
 use proptest::prelude::*;
@@ -103,6 +104,7 @@ proptest! {
             TransferMode::Unified,
             TransferMode::UnifiedPrefetch,
             TransferMode::ZeroCopy,
+            TransferMode::Adaptive,
         ] {
             let cfg = EtaConfig { smp, transfer, ..EtaConfig::paper() };
             let r = EtaGraph::new(&g, cfg).run(Algorithm::Sssp, src).unwrap();
@@ -155,6 +157,83 @@ proptest! {
     fn activation_equals_reachability((g, src) in arb_weighted_with_source()) {
         let r = EtaGraph::new(&g, EtaConfig::paper()).run(Algorithm::Bfs, src).unwrap();
         prop_assert_eq!(r.visited(), eta_graph::analysis::reachable_from(&g, src));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- hybrid transfer management ---------------------------------------
+
+    /// The adaptive policy routes bytes, never results: labels are
+    /// byte-identical to every static transfer mode for every frontier
+    /// algorithm, and PageRank rank bits are identical too (f32 adds in the
+    /// same order regardless of how operands crossed the link).
+    #[test]
+    fn adaptive_results_match_every_static_mode((g, src) in arb_weighted_with_source()) {
+        let statics = [
+            TransferMode::Unified,
+            TransferMode::UnifiedPrefetch,
+            TransferMode::ZeroCopy,
+        ];
+        for alg in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::Sswp] {
+            let a = EtaGraph::new(&g, EtaConfig::adaptive()).run(alg, src).unwrap();
+            for transfer in statics {
+                let cfg = EtaConfig { transfer, ..EtaConfig::paper() };
+                let r = EtaGraph::new(&g, cfg).run(alg, src).unwrap();
+                prop_assert_eq!(&r.labels, &a.labels, "alg={:?} transfer={:?}", alg, transfer);
+            }
+        }
+        let ranks = |transfer| {
+            let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+            let cfg = PageRankConfig {
+                iterations: 5,
+                eta: EtaConfig { transfer, ..EtaConfig::paper() },
+                ..PageRankConfig::default()
+            };
+            let bits: Vec<u32> = etagraph::pagerank::run(&mut dev, &g, &cfg)
+                .unwrap()
+                .ranks
+                .iter()
+                .map(|r| r.to_bits())
+                .collect();
+            bits
+        };
+        let adaptive_bits = ranks(TransferMode::Adaptive);
+        for transfer in statics {
+            prop_assert_eq!(&ranks(transfer), &adaptive_bits, "transfer={:?}", transfer);
+        }
+    }
+
+    /// Adaptive decisions are a pure function of the access stream: two
+    /// runs of the same query agree byte-for-byte on labels, simulated
+    /// time, and the final per-backend decision mix.
+    #[test]
+    fn adaptive_runs_are_deterministic((g, src) in arb_weighted_with_source()) {
+        let run = || {
+            let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+            let r = EtaGraph::new(&g, EtaConfig::adaptive())
+                .run_on(&mut dev, Algorithm::Sssp, src)
+                .unwrap();
+            (r.labels, r.total_ns, dev.mem.adaptive_totals())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The zero-copy backend acquires no residency: the UM driver's
+    /// resident footprint stays zero while every touched graph byte is
+    /// served over the link.
+    #[test]
+    fn zero_copy_acquires_no_residency((g, src) in arb_weighted_with_source()) {
+        let mut dev = eta_sim::Device::new(GpuConfig::default_preset());
+        let r = EtaGraph::new(&g, EtaConfig::zero_copy())
+            .run_on(&mut dev, Algorithm::Sssp, src)
+            .unwrap();
+        prop_assert_eq!(dev.mem.um.resident_bytes(), 0, "zero-copy must not migrate pages");
+        if g.degree(src) > 0 {
+            prop_assert!(dev.mem.zero_copy_bytes > 0, "graph reads must cross the link");
+        }
+        prop_assert_eq!(r.labels, reference::sssp(&g, src));
     }
 }
 
