@@ -69,6 +69,32 @@ mv "$PROFILE_OUT/transfer.json" "$PROFILE_OUT/transfer.first.json"
 cargo run --release -p eta-bench --bin report -- transfer --quick --out "$PROFILE_OUT" >/dev/null
 cmp "$PROFILE_OUT/transfer.first.json" "$PROFILE_OUT/transfer.json"
 
+echo "==> host-parallelism byte-identity (same run at 1 and 4 host threads)"
+cargo run --release -p eta-cli -- generate rmat --scale 10 --edges 30000 \
+    --max-weight 64 --seed 11 --out "$PROFILE_OUT/hp.etag" >/dev/null
+for alg in bfs sssp; do
+    for extra in "" "--sanitize" "--transfer adaptive"; do
+        # shellcheck disable=SC2086
+        cargo run --release -p eta-cli -- run "$PROFILE_OUT/hp.etag" \
+            --alg "$alg" --host-threads 1 $extra --json >"$PROFILE_OUT/hp.1.json"
+        # shellcheck disable=SC2086
+        cargo run --release -p eta-cli -- run "$PROFILE_OUT/hp.etag" \
+            --alg "$alg" --host-threads 4 $extra --json >"$PROFILE_OUT/hp.4.json"
+        cmp "$PROFILE_OUT/hp.1.json" "$PROFILE_OUT/hp.4.json"
+    done
+done
+cargo run --release -p eta-cli -- serve --graph rmat10 --requests 20 \
+    --devices 2 --host-threads 1 --json >"$PROFILE_OUT/hp.serve.1.json"
+cargo run --release -p eta-cli -- serve --graph rmat10 --requests 20 \
+    --devices 2 --host-threads 4 --json >"$PROFILE_OUT/hp.serve.4.json"
+cmp "$PROFILE_OUT/hp.serve.1.json" "$PROFILE_OUT/hp.serve.4.json"
+
+echo "==> bench_sim smoke run (host-time trajectory, temp file)"
+cargo run --release -p eta-bench --bin bench_sim -- --label ci-smoke \
+    --threads 4 --out "$PROFILE_OUT/BENCH_sim.json" >/dev/null 2>&1
+grep -q '"bench": "sim"' "$PROFILE_OUT/BENCH_sim.json"
+grep -q '"sim_cycles_per_host_sec"' "$PROFILE_OUT/BENCH_sim.json"
+
 echo "==> sharded-vs-single differential (CLI label digests must match)"
 cargo run --release -p eta-cli -- generate rmat --scale 10 --edges 30000 \
     --max-weight 64 --seed 7 --out "$PROFILE_OUT/g.etag" >/dev/null

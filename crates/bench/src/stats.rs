@@ -11,12 +11,19 @@
 use serde::Serialize;
 
 /// Nearest-rank percentile of `samples` (unsorted is fine; a sorted copy is
-/// made internally). `p` must be in (0, 100].
+/// made internally).
 ///
 /// Returns `None` when `samples` is empty — an empty distribution has no
-/// percentiles, and silently returning 0 would read as "zero latency".
+/// percentiles, and silently returning 0 would read as "zero latency" —
+/// and `None` when `p` is outside `(0, 100]` or non-finite. The latter
+/// used to flow straight into the rank arithmetic, where `NaN.ceil() as
+/// usize` is 0, the clamp pulled it to rank 1, and a caller asking for a
+/// nonsense percentile got the *minimum sample* back as a plausible-looking
+/// value (PR 9 regression).
 pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
-    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+    if !p.is_finite() || p <= 0.0 || p > 100.0 {
+        return None;
+    }
     if samples.is_empty() {
         return None;
     }
@@ -98,9 +105,23 @@ mod tests {
         assert_eq!((s.p50, s.p95, s.p99), (50, 95, 99));
     }
 
+    /// Regression (PR 9): out-of-range and non-finite `p` must be `None`,
+    /// never a plausible-looking sample. Before the guard, `NaN` ceiled to
+    /// rank 0, the clamp pulled it to rank 1, and the caller got the
+    /// minimum sample back.
     #[test]
-    #[should_panic(expected = "percentile must be in (0, 100]")]
-    fn zero_percentile_is_rejected() {
-        let _ = percentile(&[1, 2, 3], 0.0);
+    fn invalid_percentiles_are_none() {
+        let v = [1u64, 2, 3];
+        assert_eq!(percentile(&v, f64::NAN), None);
+        assert_eq!(percentile(&v, f64::INFINITY), None);
+        assert_eq!(percentile(&v, f64::NEG_INFINITY), None);
+        assert_eq!(percentile(&v, 0.0), None);
+        assert_eq!(percentile(&v, -5.0), None);
+        assert_eq!(percentile(&v, 100.0 + f64::EPSILON * 100.0), None);
+        assert_eq!(percentile(&v, 101.0), None);
+        // The boundary itself stays valid: p100 is the maximum.
+        assert_eq!(percentile(&v, 100.0), Some(3));
+        // And invalid p on an empty distribution is still None, not a panic.
+        assert_eq!(percentile(&[], f64::NAN), None);
     }
 }

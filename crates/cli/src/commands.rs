@@ -46,10 +46,10 @@ pub fn usage() -> String {
      etagraph run FILE --alg bfs|sssp|sswp|cc|pagerank [--source V] [--sources A,B,...] [--framework eta|tigr|gunrock|cusha|chunkstream]\n\
      \x20            [--k K] [--no-smp] [--transfer demand|prefetch|explicit|zerocopy|adaptive]\n\
      \x20            [--no-ump] [--no-um] [--out-of-core] [--pull] [--devices N]\n\
-     \x20            [--device-mb MB] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
+     \x20            [--device-mb MB] [--host-threads N] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
      \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
-     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--profile FILE] [--sanitize]\n\
+     \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--host-threads N] [--profile FILE] [--sanitize]\n\
      \x20          [--faults PLAN.json] [--ckpt-interval I] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph chaos [--full] [--out DIR] [--json]\n\
@@ -227,12 +227,24 @@ fn fault_plan_from(args: &Args) -> Result<Option<eta_fault::FaultPlan>, ArgError
         .map_err(|e| ArgError(format!("fault plan {path}: {e}")))
 }
 
+/// Parses `--host-threads N` (default 1): how many host threads the
+/// simulator may use for its per-SM drain stages. Simulated results are
+/// byte-identical at every setting; only host wall-clock changes.
+fn host_threads_from(args: &Args) -> Result<usize, ArgError> {
+    let n: usize = args.get_parse("host-threads", 1)?;
+    if n == 0 {
+        return Err(ArgError("--host-threads must be at least 1".into()));
+    }
+    Ok(n)
+}
+
 /// Builds the simulated device, with the sanitizer attached when
 /// `--sanitize` is present (full memcheck + racecheck + lint) and any
 /// `--faults` plan installed (as device 0 — single-device runs).
 fn device_from(args: &Args) -> Result<Device, ArgError> {
     let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024)
+        .with_host_threads(host_threads_from(args)?);
     if args.switch("sanitize") {
         gpu = gpu.with_sanitizer(SanitizerMode::Full);
     }
@@ -436,7 +448,8 @@ fn run_sharded_cli(
     }
     let cfg = eta_config_from(args)?;
     let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024)
+        .with_host_threads(host_threads_from(args)?);
     if args.get("profile").is_some() {
         gpu = gpu.with_profiling();
     }
@@ -616,7 +629,8 @@ fn run_pagerank_sharded(
         ));
     }
     let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024)
+        .with_host_threads(host_threads_from(args)?);
     if args.get("profile").is_some() {
         gpu = gpu.with_profiling();
     }
@@ -721,7 +735,8 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
     }
 
     let device_mb: u64 = args.get_parse("device-mb", 88)?;
-    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024);
+    let mut gpu = GpuConfig::gtx1080ti_scaled(device_mb * 1024 * 1024)
+        .with_host_threads(host_threads_from(args)?);
     let sanitize = args.switch("sanitize");
     if sanitize {
         gpu = gpu.with_sanitizer(SanitizerMode::Full);

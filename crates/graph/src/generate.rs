@@ -240,11 +240,14 @@ mod tests {
     #[test]
     fn rmat_thread_count_does_not_change_result() {
         let cfg = RmatConfig::paper(11, 30_000, 99);
-        eta_par::set_threads(1);
-        let seq = rmat(&cfg);
-        eta_par::set_threads(4);
-        let par = rmat(&cfg);
-        eta_par::set_threads(0);
+        let seq = {
+            let _g = eta_par::ThreadGuard::set(1);
+            rmat(&cfg)
+        };
+        let par = {
+            let _g = eta_par::ThreadGuard::set(4);
+            rmat(&cfg)
+        };
         assert_eq!(seq, par);
     }
 

@@ -35,6 +35,7 @@
 //! out ("fine-grained memory access when reading neighbor vertex data,
 //! usually stored in 4-byte format") and keeps the simulator safe-Rust-only.
 
+pub mod access;
 pub mod adaptive;
 pub mod cache;
 pub mod coalesce;
@@ -44,6 +45,7 @@ pub mod system;
 pub mod timeline;
 pub mod um;
 
+pub use access::{drain_l1, AccessRec, L1DrainParams, L2Work, PipeOp, SmQueue};
 pub use adaptive::{AdaptiveRegion, GroupDecision, TransferChoice};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::{sectors_for_warp, SECTOR_BYTES, WORD_BYTES};

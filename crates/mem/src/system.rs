@@ -666,6 +666,34 @@ impl MemSystem {
             }
         }
     }
+
+    /// The serial residency stage of the staged launch pipeline (see
+    /// [`crate::access`]): runs [`MemSystem::ensure_resident`] for one
+    /// recorded access and *immediately* classifies each of its sectors as
+    /// zero-copy or cache-bound into `zc`.
+    ///
+    /// The classification must happen right here, between this access's
+    /// residency and the next one's — the adaptive policy's per-page-group
+    /// choices evolve access by access (`note_sector`, residency changes),
+    /// so deferring the flags would diverge from the inline path the
+    /// pipeline replaces.
+    pub fn resolve_access(
+        &mut self,
+        region: RegionId,
+        sectors: &[u64],
+        now: Ns,
+        zc: &mut [bool],
+    ) -> Ns {
+        let arrival = self.ensure_resident(region, sectors, now);
+        let all_zero_copy = matches!(self.region_kind(region), RegionKind::ZeroCopy);
+        let adaptive = !all_zero_copy && self.region_is_adaptive(region);
+        if all_zero_copy || adaptive {
+            for (flag, &sec) in zc.iter_mut().zip(sectors) {
+                *flag = all_zero_copy || self.sector_zero_copy(region, sec);
+            }
+        }
+        arrival
+    }
 }
 
 #[cfg(test)]

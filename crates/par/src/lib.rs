@@ -25,25 +25,55 @@ pub mod sort;
 
 pub use sort::par_sort_by_key;
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Inputs smaller than this run sequentially on the calling thread.
 pub const PAR_THRESHOLD: usize = 4096;
 
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Per-thread override of the worker count; `0` means "use the
+    /// machine's available parallelism". Thread-local on purpose: the
+    /// spawn decision is made on the calling thread, and a process-global
+    /// override would leak between concurrently-running tests in the same
+    /// binary (cargo's default test harness runs them on a thread pool).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
 
-/// Overrides the number of worker threads used by this module.
+/// Scoped override of the number of worker threads used by this module on
+/// the *calling thread*. The previous override is restored on drop, so
+/// overrides nest and cannot leak across tests — the replacement for the
+/// old process-global `set_threads`, which raced every concurrently
+/// running test in the same binary.
 ///
-/// `0` restores the default (the machine's available parallelism). Intended
-/// for tests and benchmarks that want single-threaded determinism checks.
-pub fn set_threads(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+/// ```
+/// let _guard = eta_par::ThreadGuard::set(1);
+/// // every eta-par call on this thread is now single-threaded
+/// ```
+#[derive(Debug)]
+pub struct ThreadGuard {
+    prev: usize,
+}
+
+impl ThreadGuard {
+    /// Overrides the worker count until the guard drops. `0` restores the
+    /// default (the machine's available parallelism).
+    #[must_use = "the override ends when the guard drops"]
+    pub fn set(n: usize) -> ThreadGuard {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(n));
+        ThreadGuard { prev }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|o| o.set(self.prev));
+    }
 }
 
 /// Number of worker threads a parallel call will use.
 pub fn current_threads() -> usize {
-    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let o = THREAD_OVERRIDE.with(Cell::get);
     if o != 0 {
         return o;
     }
@@ -104,17 +134,44 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let len = data.len();
     let threads = current_threads();
-    if len < PAR_THRESHOLD || threads <= 1 {
+    if data.len() < PAR_THRESHOLD || threads <= 1 {
         for (i, item) in data.iter_mut().enumerate() {
             body(i, item);
         }
         return;
     }
-    let parts = chunks(len, threads);
-    // Split the slice into the exact chunk boundaries so each worker owns a
-    // disjoint &mut region.
+    spawn_over_chunks(threads, data, &body);
+}
+
+/// Parallel in-place transform with an **explicit** worker count and no
+/// small-input fast path: every element runs under the chunked schedule
+/// even for a handful of items. This is the primitive for few-but-heavy
+/// work units — e.g. the simulator's per-SM replay stages, where the item
+/// count (~tens of SMs) never clears [`PAR_THRESHOLD`] but each item is
+/// millions of cache probes. `threads <= 1` runs inline on the caller.
+pub fn for_each_mut_threads<T, F>(threads: usize, data: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || data.len() <= 1 {
+        for (i, item) in data.iter_mut().enumerate() {
+            body(i, item);
+        }
+        return;
+    }
+    spawn_over_chunks(threads, data, &body);
+}
+
+/// Shared worker spawn: splits `data` at exact chunk boundaries so each
+/// worker owns a disjoint `&mut` region, then runs `body` under a scope.
+fn spawn_over_chunks<T, F>(threads: usize, data: &mut [T], body: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let parts = chunks(data.len(), threads);
     let mut rest = data;
     let mut slices = Vec::with_capacity(parts.len());
     let mut consumed = 0;
@@ -126,7 +183,6 @@ where
     }
     crossbeam::scope(|s| {
         for (offset, chunk) in slices {
-            let body = &body;
             s.spawn(move |_| {
                 for (i, item) in chunk.iter_mut().enumerate() {
                     body(offset + i, item);
@@ -199,7 +255,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn chunks_cover_range_exactly() {
@@ -282,10 +338,65 @@ mod tests {
 
     #[test]
     fn thread_override_roundtrip() {
-        set_threads(3);
-        assert_eq!(current_threads(), 3);
-        set_threads(0);
+        {
+            let _g = ThreadGuard::set(3);
+            assert_eq!(current_threads(), 3);
+        }
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_guards_nest_and_restore() {
+        let _outer = ThreadGuard::set(2);
+        assert_eq!(current_threads(), 2);
+        {
+            let _inner = ThreadGuard::set(7);
+            assert_eq!(current_threads(), 7);
+        }
+        assert_eq!(current_threads(), 2, "inner guard restored the outer");
+    }
+
+    /// Regression (PR 9): the override used to be a process-global
+    /// `AtomicUsize`, so two tests pinning thread counts concurrently
+    /// clobbered each other. With the scoped, thread-local guard, two
+    /// strictly interleaved guards on different threads must never observe
+    /// each other's override.
+    #[test]
+    fn interleaved_guards_do_not_observe_each_other() {
+        use std::sync::mpsc;
+        let (to_b, from_a) = mpsc::channel::<()>();
+        let (to_a, from_b) = mpsc::channel::<()>();
+        let a = std::thread::spawn(move || {
+            let _g = ThreadGuard::set(2);
+            to_b.send(()).unwrap(); // B now sets its own override...
+            from_b.recv().unwrap(); // ...and has done so before we re-read.
+            let seen = current_threads();
+            to_b.send(()).unwrap();
+            seen
+        });
+        let b = std::thread::spawn(move || {
+            from_a.recv().unwrap();
+            let _g = ThreadGuard::set(5);
+            to_a.send(()).unwrap();
+            from_a.recv().unwrap(); // A has re-read while our guard is live.
+            current_threads()
+        });
+        assert_eq!(a.join().unwrap(), 2, "thread A sees only its own guard");
+        assert_eq!(b.join().unwrap(), 5, "thread B sees only its own guard");
+    }
+
+    #[test]
+    fn for_each_mut_threads_ignores_the_small_input_fast_path() {
+        // 8 items is far below PAR_THRESHOLD; the explicit-thread primitive
+        // must still visit every element exactly once with correct indices.
+        for threads in [0usize, 1, 2, 8, 64] {
+            let mut v = vec![0usize; 8];
+            for_each_mut_threads(threads, &mut v, |i, x| *x = i * 10);
+            let want: Vec<usize> = (0..8).map(|i| i * 10).collect();
+            assert_eq!(v, want, "threads = {threads}");
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_mut_threads(4, &mut empty, |_, _| unreachable!());
     }
 
     #[test]

@@ -120,7 +120,7 @@ fn merge_by_key<T: Copy, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], out: &mut [T]
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set_threads;
+    use crate::ThreadGuard;
 
     fn pseudo_random(n: usize, seed: u64) -> Vec<(u32, u32)> {
         (0..n as u64)
@@ -165,7 +165,7 @@ mod tests {
         let input = pseudo_random(30_000, 9);
         let mut results = Vec::new();
         for t in [1usize, 2, 3, 8] {
-            set_threads(t);
+            let _g = ThreadGuard::set(t);
             let mut v = input.clone();
             par_sort_by_key(&mut v, |&(k, _)| k);
             // Sort by key only: equal keys may order differently per merge
@@ -173,7 +173,6 @@ mod tests {
             let keys: Vec<u32> = v.iter().map(|&(k, _)| k).collect();
             results.push(keys);
         }
-        set_threads(0);
         assert!(results.windows(2).all(|w| w[0] == w[1]));
     }
 
@@ -187,12 +186,11 @@ mod tests {
 
     #[test]
     fn odd_number_of_runs_merges_cleanly() {
-        set_threads(3); // three runs: exercises the unpaired-run copy path
+        let _g = ThreadGuard::set(3); // three runs: exercises the unpaired-run copy path
         let mut v = pseudo_random(30_000, 5);
         let mut want = v.clone();
         par_sort_by_key(&mut v, |&(k, v)| (k, v));
         want.sort_unstable();
-        set_threads(0);
         assert_eq!(v, want);
     }
 }

@@ -57,7 +57,62 @@ pub struct GpuConfig {
     /// Whether the device records an `eta-prof` event stream (default off;
     /// disabled profiling is zero-cost).
     pub profiling: bool,
+    /// Host threads used to replay the per-SM stages of a launch (default
+    /// 1). This is a host-speed knob only: every simulated result —
+    /// counters, timings, sanitizer findings, profiler spans — is
+    /// byte-identical across thread counts (see DESIGN.md "Host
+    /// parallelism").
+    pub host_threads: usize,
 }
+
+/// A degenerate [`GpuConfig`] field, rejected at device construction.
+///
+/// Before PR 9 these reached `block % num_sms` / `div_ceil(num_sms)` deep
+/// inside `Device::launch` and died with a raw divide-by-zero; now
+/// [`GpuConfig::validate`] names the field up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_sms == 0`: no SM to schedule blocks onto.
+    ZeroSms,
+    /// `max_resident_warps == 0`: no warp could ever be resident.
+    ZeroResidentWarps,
+    /// `hiding_cap == 0`: the latency-hiding divisor would be meaningless.
+    ZeroHidingCap,
+    /// `host_threads == 0`: a launch needs at least the calling thread.
+    ZeroHostThreads,
+    /// `clock_ghz` is zero, negative, or non-finite.
+    BadClock,
+    /// `dram_bandwidth_gb_s` is zero, negative, or non-finite.
+    BadDramBandwidth,
+    /// `l1.ways == 0`: a set-associative cache needs at least one way.
+    ZeroL1Ways,
+    /// `l1.line_bytes == 0`: sector math divides by the line size.
+    ZeroL1Line,
+    /// `l2.ways == 0`.
+    ZeroL2Ways,
+    /// `l2.line_bytes == 0`.
+    ZeroL2Line,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroSms => "num_sms must be at least 1",
+            ConfigError::ZeroResidentWarps => "max_resident_warps must be at least 1",
+            ConfigError::ZeroHidingCap => "hiding_cap must be at least 1",
+            ConfigError::ZeroHostThreads => "host_threads must be at least 1",
+            ConfigError::BadClock => "clock_ghz must be finite and positive",
+            ConfigError::BadDramBandwidth => "dram_bandwidth_gb_s must be finite and positive",
+            ConfigError::ZeroL1Ways => "l1.ways must be at least 1",
+            ConfigError::ZeroL1Line => "l1.line_bytes must be at least 1",
+            ConfigError::ZeroL2Ways => "l2.ways must be at least 1",
+            ConfigError::ZeroL2Line => "l2.line_bytes must be at least 1",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl GpuConfig {
     /// GTX 1080Ti-like preset with device memory scaled to the datasets.
@@ -105,6 +160,7 @@ impl GpuConfig {
             hiding_cap: 24,
             sanitizer: SanitizerMode::Off,
             profiling: false,
+            host_threads: 1,
         }
     }
 
@@ -118,6 +174,49 @@ impl GpuConfig {
     pub fn with_profiling(mut self) -> Self {
         self.profiling = true;
         self
+    }
+
+    /// The same preset replaying per-SM launch stages on `n` host threads.
+    pub fn with_host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
+        self
+    }
+
+    /// Rejects degenerate fields before they reach div/mod arithmetic deep
+    /// inside the launch path (PR 9 regression: `num_sms = 0` panicked with
+    /// a raw divide-by-zero out of `block % num_sms`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_sms == 0 {
+            return Err(ConfigError::ZeroSms);
+        }
+        if self.max_resident_warps == 0 {
+            return Err(ConfigError::ZeroResidentWarps);
+        }
+        if self.hiding_cap == 0 {
+            return Err(ConfigError::ZeroHidingCap);
+        }
+        if self.host_threads == 0 {
+            return Err(ConfigError::ZeroHostThreads);
+        }
+        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
+            return Err(ConfigError::BadClock);
+        }
+        if !self.dram_bandwidth_gb_s.is_finite() || self.dram_bandwidth_gb_s <= 0.0 {
+            return Err(ConfigError::BadDramBandwidth);
+        }
+        if self.l1.ways == 0 {
+            return Err(ConfigError::ZeroL1Ways);
+        }
+        if self.l1.line_bytes == 0 {
+            return Err(ConfigError::ZeroL1Line);
+        }
+        if self.l2.ways == 0 {
+            return Err(ConfigError::ZeroL2Ways);
+        }
+        if self.l2.line_bytes == 0 {
+            return Err(ConfigError::ZeroL2Line);
+        }
+        Ok(())
     }
 
     /// Device memory used by the scaled evaluation.
@@ -163,5 +262,51 @@ mod tests {
         // 1.48 GHz: 1480 cycles = 1000 ns.
         assert_eq!(c.cycles_to_ns(1480), 1000);
         assert_eq!(c.cycles_to_ns(0), 0);
+    }
+
+    /// Regression (PR 9): each degenerate field used to surface as a raw
+    /// div/mod-by-zero panic deep inside `Device::launch`; now every one is
+    /// a typed error at validation time.
+    #[test]
+    fn degenerate_fields_are_typed_errors() {
+        let ok = GpuConfig::default_preset();
+        assert_eq!(ok.validate(), Ok(()));
+
+        type Case = (fn(&mut GpuConfig), ConfigError);
+        let cases: &[Case] = &[
+            (|c| c.num_sms = 0, ConfigError::ZeroSms),
+            (|c| c.max_resident_warps = 0, ConfigError::ZeroResidentWarps),
+            (|c| c.hiding_cap = 0, ConfigError::ZeroHidingCap),
+            (|c| c.host_threads = 0, ConfigError::ZeroHostThreads),
+            (|c| c.clock_ghz = 0.0, ConfigError::BadClock),
+            (|c| c.clock_ghz = -1.0, ConfigError::BadClock),
+            (|c| c.clock_ghz = f64::NAN, ConfigError::BadClock),
+            (
+                |c| c.dram_bandwidth_gb_s = 0.0,
+                ConfigError::BadDramBandwidth,
+            ),
+            (
+                |c| c.dram_bandwidth_gb_s = f64::INFINITY,
+                ConfigError::BadDramBandwidth,
+            ),
+            (|c| c.l1.ways = 0, ConfigError::ZeroL1Ways),
+            (|c| c.l1.line_bytes = 0, ConfigError::ZeroL1Line),
+            (|c| c.l2.ways = 0, ConfigError::ZeroL2Ways),
+            (|c| c.l2.line_bytes = 0, ConfigError::ZeroL2Line),
+        ];
+        for (mutate, want) in cases {
+            let mut c = GpuConfig::default_preset();
+            mutate(&mut c);
+            assert_eq!(c.validate(), Err(*want), "expected {want:?}");
+            // The error renders without panicking.
+            assert!(!want.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn host_threads_builder_round_trips() {
+        let c = GpuConfig::default_preset().with_host_threads(4);
+        assert_eq!(c.host_threads, 4);
+        assert_eq!(c.validate(), Ok(()));
     }
 }

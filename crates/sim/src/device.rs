@@ -32,11 +32,12 @@
 //! for more shared memory per block (large SMP degree limit `K`) reduces its
 //! own occupancy, a real trade-off the `K`-sweep ablation measures.
 
-use crate::config::GpuConfig;
+use crate::config::{ConfigError, GpuConfig};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::metrics::KernelMetrics;
 use crate::sanitizer::{Sanitizer, SanitizerReport};
 use eta_fault::{DeviceFault, FaultKind, FaultPlan};
+use eta_mem::access::{L1DrainParams, PipeOp, SmQueue};
 use eta_mem::cache::Cache;
 use eta_mem::pcie::PcieLink;
 use eta_mem::system::MemSystem;
@@ -54,6 +55,13 @@ pub struct Device {
     pub compute_timeline: Timeline,
     /// Attached when `cfg.sanitizer` enables any analysis.
     sanitizer: Option<Sanitizer>,
+    /// Per-SM record/replay arenas for the staged launch pipeline, reused
+    /// across launches so the hot path allocates nothing once warm.
+    queues: Vec<SmQueue>,
+    /// Canonical record order: the SM index of every recorded access, in
+    /// block-major execution order. The serial residency and L2 stages walk
+    /// this to replay shared state exactly as the inline path did.
+    order: Vec<u32>,
 }
 
 /// Outcome of one kernel launch.
@@ -65,7 +73,18 @@ pub struct LaunchResult {
 }
 
 impl Device {
+    /// Builds a device, panicking on a degenerate configuration. Use
+    /// [`Device::try_new`] to handle [`ConfigError`] instead.
     pub fn new(cfg: GpuConfig) -> Self {
+        // lint: allow(L-PANIC): infallible-constructor convenience for known-good presets; the fallible path is try_new
+        Self::try_new(cfg).expect("invalid GpuConfig")
+    }
+
+    /// Builds a device after [`GpuConfig::validate`], so degenerate fields
+    /// (`num_sms = 0`, zero cache ways, …) surface as typed errors rather
+    /// than div-by-zero panics mid-launch.
+    pub fn try_new(cfg: GpuConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let pcie = PcieLink::new(cfg.pcie_bandwidth_gb_s, cfg.pcie_latency_ns);
         let mut mem = MemSystem::new(cfg.device_mem_bytes, pcie);
         let sanitizer = if cfg.sanitizer.enabled() {
@@ -77,14 +96,16 @@ impl Device {
             None
         };
         mem.prof.set_enabled(cfg.profiling);
-        Device {
+        Ok(Device {
             cfg,
             mem,
             l1: (0..cfg.num_sms).map(|_| Cache::new(cfg.l1)).collect(),
             l2: Cache::new(cfg.l2),
             compute_timeline: Timeline::new(),
             sanitizer,
-        }
+            queues: (0..cfg.num_sms).map(|_| SmQueue::default()).collect(),
+            order: Vec::new(),
+        })
     }
 
     /// The sanitizer's findings so far; `None` when no sanitizer is attached.
@@ -190,15 +211,28 @@ impl Device {
             san.begin_launch(kernel.name());
         }
         let zc_mark = self.mem.zero_copy_bytes;
+
+        // ---- Stage 1: record (serial, canonical block-major order) ------
+        // Warps execute functionally — real loads, stores, atomics, all
+        // sanitizer hooks — in exactly the inline path's order, but global
+        // accesses are recorded into per-SM queues instead of probing the
+        // caches. Functional results and sanitizer findings are therefore
+        // byte-identical by construction; the cache/residency effects are
+        // replayed below.
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.order.clear();
         for block in 0..launch.blocks {
             let sm = (block as usize) % self.cfg.num_sms;
             shared.fill(0);
             for warp in 0..warps_per_block {
-                let ctx = crate::warp::WarpCtx::new(
+                let mut ctx = crate::warp::WarpCtx::new_recording(
                     &self.cfg,
                     &mut self.mem,
-                    &mut self.l1[sm],
-                    &mut self.l2,
+                    sm as u32,
+                    &mut self.queues[sm],
+                    &mut self.order,
                     &mut shared,
                     crate::warp::WarpId {
                         block,
@@ -211,7 +245,6 @@ impl Device {
                     start_ns,
                     self.sanitizer.as_mut(),
                 );
-                let mut ctx = ctx;
                 kernel.run(&mut ctx);
                 let (instr, stall) = ctx.finish(&mut metrics);
                 sm_instr[sm] += instr;
@@ -220,6 +253,106 @@ impl Device {
         }
         if let Some(san) = self.sanitizer.as_mut() {
             san.end_launch();
+        }
+
+        let host_threads = self.cfg.host_threads;
+
+        // ---- Stage 2: coalesce (parallel per SM) ------------------------
+        eta_par::for_each_mut_threads(host_threads, &mut self.queues, |_, q| q.coalesce());
+
+        // ---- Stage 3: residency + zero-copy classification (serial) -----
+        // UM migrations, PCIe spans, adaptive-policy evolution and fault
+        // injection are shared state: replay them in the canonical order.
+        {
+            let mut cursor = vec![0usize; self.cfg.num_sms];
+            for &sm in &self.order {
+                let smi = sm as usize;
+                let q = &mut self.queues[smi];
+                let rec = q.recs[cursor[smi]];
+                cursor[smi] += 1;
+                let secs = &q.sectors[rec.sec_start..rec.sec_start + rec.sec_len];
+                let zc = &mut q.zc[rec.sec_start..rec.sec_start + rec.sec_len];
+                let arrival = self.mem.resolve_access(rec.region, secs, start_ns, zc);
+                metrics.data_ready_ns = metrics.data_ready_ns.max(arrival);
+            }
+        }
+
+        // ---- Stage 4: L1 drain (parallel per SM) ------------------------
+        // Each SM's L1 is private and flushed per launch, so its probe
+        // sequence is fully determined by its own queue.
+        {
+            let params = L1DrainParams {
+                l1_latency: self.cfg.l1_latency,
+                zero_copy_latency: self.cfg.zero_copy_latency,
+                interleave: occupancy,
+            };
+            let mut per_sm: Vec<(&mut Cache, &mut SmQueue)> =
+                self.l1.iter_mut().zip(self.queues.iter_mut()).collect();
+            eta_par::for_each_mut_threads(host_threads, &mut per_sm, |_, (l1, q)| {
+                eta_mem::access::drain_l1(q, l1, &params);
+            });
+        }
+
+        // ---- Stage 5: shared L2/DRAM drain (serial, canonical order) ----
+        {
+            let mut rec_cursor = vec![0usize; self.cfg.num_sms];
+            let mut l2_cursor = vec![0usize; self.cfg.num_sms];
+            for &sm in &self.order {
+                let smi = sm as usize;
+                let q = &mut self.queues[smi];
+                let i = rec_cursor[smi];
+                rec_cursor[smi] += 1;
+                let Some(&work) = q.l2q.get(l2_cursor[smi]) else {
+                    continue;
+                };
+                if work.rec != i {
+                    continue;
+                }
+                l2_cursor[smi] += 1;
+                let rec = q.recs[work.rec];
+                let mut worst_d = 0u64;
+                for &sec in &q.l2q_sectors[work.sec_start..work.sec_start + work.sec_len] {
+                    match rec.op {
+                        PipeOp::Load => {
+                            metrics.l2_requests += 1;
+                            if self.l2.access(sec) {
+                                metrics.l2.hits += 1;
+                                worst_d = worst_d.max(self.cfg.l2_latency);
+                            } else {
+                                metrics.l2.misses += 1;
+                                metrics.dram_transactions += 1;
+                                worst_d = worst_d.max(self.cfg.dram_latency);
+                            }
+                        }
+                        PipeOp::Store | PipeOp::Atomic => {
+                            if !self.l2.access(sec) {
+                                metrics.dram_write_transactions += 1;
+                            }
+                        }
+                    }
+                }
+                let inserted = work.sec_len as u64;
+                if rec.burst {
+                    self.l2.tick(inserted);
+                } else {
+                    // The L2 absorbs traffic from every SM concurrently.
+                    self.l2.tick(l2_interleave * inserted);
+                }
+                if rec.charge {
+                    let worst = work.worst_c.max(worst_d);
+                    sm_stall[smi] += worst;
+                    metrics.mem_stall_cycles += worst;
+                }
+            }
+        }
+
+        // Merge the per-SM stage results in SM-index order.
+        for (smi, q) in self.queues.iter().enumerate() {
+            metrics.l1_requests += q.l1_requests;
+            metrics.l1.hits += q.l1_hits;
+            metrics.l1.misses += q.l1_requests - q.l1_hits;
+            metrics.mem_stall_cycles += q.stall;
+            sm_stall[smi] += q.stall;
         }
 
         // Warp-accumulated counters are already in `metrics`; derive bytes.

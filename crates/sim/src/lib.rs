@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod sanitizer;
 pub mod warp;
 
-pub use config::{GpuConfig, WARP_SIZE};
+pub use config::{ConfigError, GpuConfig, WARP_SIZE};
 pub use device::{Device, LaunchResult};
 pub use kernel::{Kernel, LaunchConfig};
 pub use metrics::KernelMetrics;

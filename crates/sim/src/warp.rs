@@ -22,6 +22,7 @@
 use crate::config::{GpuConfig, WARP_SIZE};
 use crate::metrics::KernelMetrics;
 use crate::sanitizer::{AccessKind, Sanitizer};
+use eta_mem::access::{PipeOp, SmQueue};
 use eta_mem::cache::Cache;
 use eta_mem::coalesce::sectors_for_warp;
 use eta_mem::system::{DSlice, MemSystem, RegionKind};
@@ -42,12 +43,31 @@ pub struct WarpId {
     pub grid_blocks: u32,
 }
 
+/// Where a warp's global accesses go: straight into the cache hierarchy
+/// (the classic inline path, kept for direct `WarpCtx` users), or into the
+/// owning SM's record queue for the staged launch pipeline (see
+/// [`eta_mem::access`]).
+enum Route<'a> {
+    Direct {
+        l1: &'a mut Cache,
+        l2: &'a mut Cache,
+    },
+    Record {
+        sm: u32,
+        queue: &'a mut SmQueue,
+        /// Global record order: one SM index per recorded access, shared by
+        /// every warp of the launch. The serial residency and L2 stages
+        /// replay it to keep shared-state evolution byte-identical to the
+        /// inline path.
+        order: &'a mut Vec<u32>,
+    },
+}
+
 /// Mutable execution state for one warp.
 pub struct WarpCtx<'a> {
     pub cfg: &'a GpuConfig,
     pub mem: &'a mut MemSystem,
-    l1: &'a mut Cache,
-    l2: &'a mut Cache,
+    route: Route<'a>,
     shared: &'a mut [u32],
     id: WarpId,
     /// Co-resident warps on this SM: the L1 cache-interleaving factor.
@@ -94,11 +114,65 @@ impl<'a> WarpCtx<'a> {
         start_ns: Ns,
         san: Option<&'a mut Sanitizer>,
     ) -> Self {
+        Self::with_route(
+            cfg,
+            mem,
+            Route::Direct { l1, l2 },
+            shared,
+            id,
+            interleave,
+            l2_interleave,
+            start_ns,
+            san,
+        )
+    }
+
+    /// Builds a warp context in record mode for the staged launch pipeline:
+    /// global accesses append to `queue` (this SM's arena) and `order` (the
+    /// launch-wide canonical order) instead of probing the caches inline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_recording(
+        cfg: &'a GpuConfig,
+        mem: &'a mut MemSystem,
+        sm: u32,
+        queue: &'a mut SmQueue,
+        order: &'a mut Vec<u32>,
+        shared: &'a mut [u32],
+        id: WarpId,
+        interleave: u64,
+        l2_interleave: u64,
+        start_ns: Ns,
+        san: Option<&'a mut Sanitizer>,
+    ) -> Self {
+        Self::with_route(
+            cfg,
+            mem,
+            Route::Record { sm, queue, order },
+            shared,
+            id,
+            interleave,
+            l2_interleave,
+            start_ns,
+            san,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_route(
+        cfg: &'a GpuConfig,
+        mem: &'a mut MemSystem,
+        route: Route<'a>,
+        shared: &'a mut [u32],
+        id: WarpId,
+        interleave: u64,
+        l2_interleave: u64,
+        start_ns: Ns,
+        san: Option<&'a mut Sanitizer>,
+    ) -> Self {
         WarpCtx {
             cfg,
             mem,
-            l1,
-            l2,
+            route,
             shared,
             id,
             interleave: interleave.max(1),
@@ -232,7 +306,13 @@ impl<'a> WarpCtx<'a> {
                 }
             }
         }
-        sectors_for_warp(&self.addr_scratch, mask, &mut self.sector_scratch);
+        // The sanitizer reports per-access transaction counts and the
+        // direct path probes the sectors; record mode without a sanitizer
+        // skips the sort entirely — stage 2 of the pipeline coalesces later,
+        // off the serial critical path.
+        if self.san.is_some() || matches!(self.route, Route::Direct { .. }) {
+            sectors_for_warp(&self.addr_scratch, mask, &mut self.sector_scratch);
+        }
         if let Some(san) = self.san.as_deref_mut() {
             san.global_access(
                 self.id,
@@ -244,15 +324,40 @@ impl<'a> WarpCtx<'a> {
                 self.mem,
             );
         }
-        if self.sector_scratch.is_empty() {
+        // No active lane coalesces to no sectors: nothing to probe or record.
+        if mask == 0 {
+            return (mask, 0);
+        }
+        if matches!(self.route, Route::Record { .. }) {
+            // Loads charge their worst sector latency once it is known (the
+            // L1/L2 drain stages); stores and atomics charge constant costs
+            // at the call sites below, so their records charge nothing.
+            self.record_access(s, op, burst, matches!(op, AccessOp::Load), mask);
             return (mask, 0);
         }
         let worst = self.probe_scratch_sectors(s, op, burst);
         (mask, worst)
     }
 
+    /// Appends the active lanes' word addresses (already in `addr_scratch`)
+    /// as one access record in the owning SM's queue.
+    fn record_access(&mut self, s: DSlice, op: AccessOp, burst: bool, charge: bool, mask: u32) {
+        if let Route::Record { sm, queue, order } = &mut self.route {
+            let addr_start = queue.addrs.len();
+            for lane in 0..WARP_SIZE {
+                if (mask >> lane) & 1 == 1 {
+                    queue.addrs.push(self.addr_scratch[lane]);
+                }
+            }
+            queue.commit(s.region, op.pipe(), burst, charge, addr_start);
+            order.push(*sm);
+        }
+    }
+
     /// Runs the UM/cache pipeline over the sectors currently in
     /// `sector_scratch` (sorted, deduplicated). Returns the worst latency.
+    /// Direct-route only — record mode defers all of this to the staged
+    /// pipeline.
     fn probe_scratch_sectors(&mut self, s: DSlice, op: AccessOp, burst: bool) -> u64 {
         let arrival = self
             .mem
@@ -267,6 +372,9 @@ impl<'a> WarpCtx<'a> {
         let mut worst = self.cfg.l1_latency;
         let mut l1_inserted = 0u64; // load sectors (only loads allocate in L1)
         let mut l2_inserted = 0u64; // sectors that reached L2
+        let Route::Direct { l1, l2 } = &mut self.route else {
+            return worst;
+        };
         for &sec in &self.sector_scratch {
             if all_zero_copy || (adaptive && self.mem.sector_zero_copy(s.region, sec)) {
                 worst = worst.max(self.cfg.zero_copy_latency);
@@ -276,13 +384,13 @@ impl<'a> WarpCtx<'a> {
                 AccessOp::Load => {
                     l1_inserted += 1;
                     self.l1_requests += 1;
-                    if self.l1.access(sec) {
+                    if l1.access(sec) {
                         self.l1_hits += 1;
                         // L1 hit: base latency already covers it.
                     } else {
                         l2_inserted += 1;
                         self.l2_read_requests += 1;
-                        if self.l2.access(sec) {
+                        if l2.access(sec) {
                             self.l2_read_hits += 1;
                             worst = worst.max(self.cfg.l2_latency);
                         } else {
@@ -295,7 +403,7 @@ impl<'a> WarpCtx<'a> {
                     // Write-through, L2-allocate; no L1 allocation (Pascal
                     // global stores bypass L1).
                     l2_inserted += 1;
-                    if !self.l2.access(sec) {
+                    if !l2.access(sec) {
                         self.dram_write_transactions += 1;
                     }
                 }
@@ -308,12 +416,12 @@ impl<'a> WarpCtx<'a> {
         // inserting a similar amount); burst rows run back to back with
         // nothing interleaved, so they advance by their own insertions only.
         if burst {
-            self.l1.tick(l1_inserted);
-            self.l2.tick(l2_inserted);
+            l1.tick(l1_inserted);
+            l2.tick(l2_inserted);
         } else {
-            self.l1.tick(self.interleave * l1_inserted);
+            l1.tick(self.interleave * l1_inserted);
             // The L2 absorbs traffic from every SM concurrently.
-            self.l2.tick(self.l2_interleave * l2_inserted);
+            l2.tick(self.l2_interleave * l2_inserted);
         }
         worst
     }
@@ -389,6 +497,9 @@ impl<'a> WarpCtx<'a> {
                 .filter(|&l| (mask >> l) & 1 == 1 && count[l] > group_start)
                 .count() as u32;
             self.count_lanes(active);
+            // Record mode keeps raw word addresses (stage 2 coalesces them
+            // later); the direct path pushes sector IDs as before.
+            let record = matches!(self.route, Route::Record { .. });
             self.sector_scratch.clear();
             let mut any = false;
             for lane in 0..WARP_SIZE {
@@ -397,20 +508,38 @@ impl<'a> WarpCtx<'a> {
                 }
                 for r in group_start..group_end.min(count[lane]) {
                     let addr = s.addr((start[lane] + r) as u64);
-                    self.sector_scratch.push(addr / 8);
+                    self.sector_scratch
+                        .push(if record { addr } else { addr / 8 });
                     out[r as usize][lane] = self.mem.word(addr);
                     any = true;
                 }
             }
             if any {
-                self.sector_scratch.sort_unstable();
-                self.sector_scratch.dedup();
-                let worst = self.probe_scratch_sectors(s, AccessOp::Load, true);
-                if first_group {
-                    self.stall += worst;
-                    first_group = false;
+                if record {
+                    // The first non-empty group charges its worst sector
+                    // latency once the drain stages know it; later groups
+                    // pay the pipelined issue cost right here.
+                    if let Route::Record { sm, queue, order } = &mut self.route {
+                        let addr_start = queue.addrs.len();
+                        queue.addrs.extend_from_slice(&self.sector_scratch);
+                        queue.commit(s.region, PipeOp::Load, true, first_group, addr_start);
+                        order.push(*sm);
+                    }
+                    if first_group {
+                        first_group = false;
+                    } else {
+                        self.stall += self.cfg.burst_issue;
+                    }
                 } else {
-                    self.stall += self.cfg.burst_issue;
+                    self.sector_scratch.sort_unstable();
+                    self.sector_scratch.dedup();
+                    let worst = self.probe_scratch_sectors(s, AccessOp::Load, true);
+                    if first_group {
+                        self.stall += worst;
+                        first_group = false;
+                    } else {
+                        self.stall += self.cfg.burst_issue;
+                    }
                 }
             }
             group_start = group_end;
@@ -617,6 +746,14 @@ impl AccessOp {
             AccessOp::Load => AccessKind::Load,
             AccessOp::Store => AccessKind::Store,
             AccessOp::Atomic => AccessKind::Atomic,
+        }
+    }
+
+    fn pipe(self) -> PipeOp {
+        match self {
+            AccessOp::Load => PipeOp::Load,
+            AccessOp::Store => PipeOp::Store,
+            AccessOp::Atomic => PipeOp::Atomic,
         }
     }
 }
