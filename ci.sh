@@ -50,6 +50,15 @@ mv "$PROFILE_OUT/chaos.json" "$PROFILE_OUT/chaos.first.json"
 cargo run --release -p eta-bench --bin report -- chaos --quick --out "$PROFILE_OUT" >/dev/null
 cmp "$PROFILE_OUT/chaos.first.json" "$PROFILE_OUT/chaos.json"
 
+echo "==> overload drill gate (quick suite: nonzero exit on any lost or"
+echo "    double-counted request, or a saturated cell where qos loses; then"
+echo "    a second run must be byte-identical)"
+cargo run --release -p eta-cli -- overload --out "$PROFILE_OUT" >/dev/null
+grep -q "0 lost" "$PROFILE_OUT/overload.txt"
+mv "$PROFILE_OUT/overload.json" "$PROFILE_OUT/overload.first.json"
+cargo run --release -p eta-bench --bin report -- overload --quick --out "$PROFILE_OUT" >/dev/null
+cmp "$PROFILE_OUT/overload.first.json" "$PROFILE_OUT/overload.json"
+
 echo "==> report shard smoke run (quick suite, twice, byte-identical)"
 cargo run --release -p eta-bench --bin report -- shard --quick --out "$PROFILE_OUT" >/dev/null
 grep -q "0 mismatches" "$PROFILE_OUT/shard.txt"
@@ -94,6 +103,12 @@ cargo run --release -p eta-bench --bin bench_sim -- --label ci-smoke \
     --threads 4 --out "$PROFILE_OUT/BENCH_sim.json" >/dev/null 2>&1
 grep -q '"bench": "sim"' "$PROFILE_OUT/BENCH_sim.json"
 grep -q '"sim_cycles_per_host_sec"' "$PROFILE_OUT/BENCH_sim.json"
+
+echo "==> bench_serve smoke run (serving-layer trajectory, temp file)"
+cargo run --release -p eta-bench --bin bench_serve -- --label ci-smoke \
+    --out "$PROFILE_OUT/BENCH_serve.json" >/dev/null 2>&1
+grep -q '"bench": "serve"' "$PROFILE_OUT/BENCH_serve.json"
+grep -q '"goodput_qps"' "$PROFILE_OUT/BENCH_serve.json"
 
 echo "==> sharded-vs-single differential (CLI label digests must match)"
 cargo run --release -p eta-cli -- generate rmat --scale 10 --edges 30000 \

@@ -1,0 +1,124 @@
+//! `bench_serve`: the serving-layer trajectory behind `BENCH_serve.json`.
+//!
+//! Runs the quick-suite overload drill (the same generator as the
+//! `overload` report artifact — calibration, the multiplier × fault-plan
+//! sweep, both qos arms, and differential verification) and appends one
+//! entry recording:
+//!
+//! - **host wall-clock** of the full drill (the serving layer's speed
+//!   guard, in the same spirit as `bench_sim`);
+//! - **goodput and SLO attainment** for the fault-free poisson cells at 1x
+//!   and 4x of calibrated capacity, qos on and off — the headline numbers
+//!   that must not regress as the scheduler grows.
+//!
+//! Simulated results are byte-identical run to run; `ci.sh` enforces that
+//! separately. The file is a *trajectory*: entries are appended (never
+//! edited) so a regression shows up as the newest entry being worse than
+//! its predecessors on the same machine.
+//!
+//! ```text
+//! cargo run --release -p eta-bench --bin bench_serve -- [--label NAME] [--out FILE]
+//! ```
+
+use eta_bench::hosttime::Stopwatch;
+use eta_bench::overload::overload;
+use eta_bench::Suite;
+use serde_json::{json, Value};
+
+/// Pulls the fault-free poisson cell at `multiplier` (first workload seed)
+/// out of the drill artifact's JSON.
+fn cell_at(cells: &[Value], multiplier: u64) -> &Value {
+    // lint: allow(L-PANIC): the drill always emits these cells; absence is a bench bug
+    cells
+        .iter()
+        .find(|c| {
+            c["multiplier"] == multiplier && c["arrival"] == "poisson" && c["fault_seed"].is_null()
+        })
+        .expect("drill emits fault-free poisson cells at every multiplier")
+}
+
+fn arm_digest(cell: &Value, arm: &str) -> Value {
+    json!({
+        "goodput_qps": cell[arm]["goodput_qps"],
+        "slo_attainment": cell[arm]["slo_attainment"],
+        "completed": cell[arm]["completed"],
+        "rejected": cell[arm]["rejected"],
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let label = flag("--label").unwrap_or_else(|| "unlabeled".into());
+    let out = flag("--out").unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let total = Stopwatch::started();
+
+    let artifact = overload(Suite::Quick);
+    let drill_seconds = total.elapsed_secs();
+    // lint: allow(L-PANIC): the artifact always carries a cells array
+    let cells = artifact.json["cells"].as_array().expect("cells array");
+    let at_1x = cell_at(cells, 1);
+    let at_4x = cell_at(cells, 4);
+    eprintln!(
+        "overload drill: {drill_seconds:.3}s host, capacity {} qps, qos goodput {} qps at 4x",
+        artifact.json["capacity_qps"], at_4x["qos"]["goodput_qps"],
+    );
+
+    let entry = json!({
+        "schema": "eta-bench-trajectory-v1",
+        "bench": "serve",
+        "label": label,
+        "suite": "quick",
+        "host_cores": std::thread::available_parallelism().map_or(0, |n| n.get()),
+        "drill_wall_seconds": drill_seconds,
+        "capacity_qps": artifact.json["capacity_qps"],
+        "slo_ns": artifact.json["slo_ns"],
+        "verification": artifact.json["verification"],
+        "at_1x": {
+            "baseline": arm_digest(at_1x, "baseline"),
+            "qos": arm_digest(at_1x, "qos"),
+        },
+        "at_4x": {
+            "baseline": arm_digest(at_4x, "baseline"),
+            "qos": arm_digest(at_4x, "qos"),
+        },
+        "wall_seconds_total": total.elapsed_secs(),
+    });
+    // lint: allow(L-PANIC): serializing a just-built Value cannot fail
+    let rendered = serde_json::to_string_pretty(&entry).expect("render entry");
+    let indented: String = rendered
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    // The trajectory is a top-level JSON array, append-only. The vendored
+    // serde_json shim is emit-only (no parser), so appending is textual:
+    // strip the closing bracket, splice the new entry, close again.
+    let doc = match std::fs::read_to_string(&out) {
+        Ok(prior) => {
+            let trimmed = prior.trim_end();
+            let Some(body) = trimmed.strip_suffix(']') else {
+                eprintln!("error: {out} is not a JSON array; refusing to append");
+                std::process::exit(2);
+            };
+            let body = body.trim_end().trim_end_matches(',');
+            let sep = if body.trim_end().ends_with('[') {
+                "\n"
+            } else {
+                ",\n"
+            };
+            format!("{body}{sep}{indented}\n]\n")
+        }
+        Err(_) => format!("[\n{indented}\n]\n"),
+    };
+    // lint: allow(L-PANIC): writing the trajectory is this binary's whole job
+    std::fs::write(&out, doc).expect("write BENCH_serve.json");
+    eprintln!("wrote {} ({:.1}s total)", out, total.elapsed_secs());
+}

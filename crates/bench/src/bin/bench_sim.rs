@@ -38,7 +38,9 @@ use eta_bench::suite;
 use eta_fault::{FaultPlan, HangFault};
 use eta_graph::generate::{rmat, RmatConfig};
 use eta_graph::Csr;
-use eta_serve::{poisson_trace, GraphRegistry, Request, ServeConfig, Service, WorkloadConfig};
+use eta_serve::{
+    poisson_trace, Arrival, GraphRegistry, Request, ServeConfig, Service, WorkloadConfig,
+};
 use eta_sim::{Device, GpuConfig};
 use etagraph::{engine, Algorithm, EtaConfig};
 use serde_json::{json, Value};
@@ -132,6 +134,7 @@ fn chaos_drill() -> ChaosDrill {
         requests,
         seed: 7,
         rate_per_s: 20_000.0,
+        arrival: Arrival::Poisson,
         interactive_fraction: 0.4,
         interactive_slo_ns: Some(2_000_000),
         batch_slo_ns: None,

@@ -16,9 +16,10 @@ use eta_bench::{figs, tables, Suite};
 use std::io::Write;
 use std::path::PathBuf;
 
-const KNOWN: [&str; 19] = [
+const KNOWN: [&str; 20] = [
     "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5", "fig6", "fig7",
     "extras", "sanitize", "serve", "shard", "transfer", "profile", "faults", "chaos", "lint",
+    "overload",
 ];
 
 fn main() {
@@ -97,6 +98,7 @@ fn generate(name: &str, suite: Suite) -> Artifact {
         "profile" => eta_bench::profile_report::profile(suite),
         "faults" => eta_bench::faults_report::faults(suite),
         "chaos" => eta_bench::chaos::chaos(suite),
+        "overload" => eta_bench::overload::overload(suite),
         "lint" => eta_bench::lint_report::lint(),
         _ => unreachable!("validated in main"),
     }

@@ -23,8 +23,8 @@ use eta_fault::{FaultPlan, HangFault};
 use eta_graph::generate::{rmat, RmatConfig};
 use eta_graph::reference;
 use eta_serve::{
-    poisson_trace, GraphRegistry, GroupConfig, GroupService, Request, ServeConfig, ServeReport,
-    Service, WorkloadConfig,
+    poisson_trace, Arrival, GraphRegistry, GroupConfig, GroupService, Request, ServeConfig,
+    ServeReport, Service, WorkloadConfig,
 };
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -182,6 +182,7 @@ pub fn chaos(suite: Suite) -> Artifact {
         requests,
         seed: 7,
         rate_per_s: 20_000.0,
+        arrival: Arrival::Poisson,
         interactive_fraction: 0.4,
         interactive_slo_ns: Some(2_000_000),
         batch_slo_ns: None,

@@ -15,7 +15,9 @@ use crate::tables::Artifact;
 use crate::text;
 use eta_fault::FaultPlan;
 use eta_graph::generate::{rmat, RmatConfig};
-use eta_serve::{poisson_trace, GraphRegistry, ServeConfig, ServeReport, Service, WorkloadConfig};
+use eta_serve::{
+    poisson_trace, Arrival, GraphRegistry, ServeConfig, ServeReport, Service, WorkloadConfig,
+};
 use serde_json::{json, Value};
 
 fn ms(ns: u64) -> String {
@@ -57,6 +59,7 @@ pub fn faults(suite: Suite) -> Artifact {
         requests,
         seed: 7,
         rate_per_s: 20_000.0,
+        arrival: Arrival::Poisson,
         interactive_fraction: 0.4,
         interactive_slo_ns: Some(2_000_000),
         batch_slo_ns: None,

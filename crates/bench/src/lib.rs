@@ -14,6 +14,7 @@ pub mod faults_report;
 pub mod figs;
 pub mod hosttime;
 pub mod lint_report;
+pub mod overload;
 pub mod profile_report;
 pub mod sanitize;
 pub mod serve_report;

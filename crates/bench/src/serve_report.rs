@@ -13,7 +13,7 @@ use crate::tables::Artifact;
 use crate::text;
 use eta_graph::generate::{rmat, RmatConfig};
 use eta_serve::{
-    poisson_trace, GraphRegistry, Policy, Priority, ServeConfig, ServeReport, Service,
+    poisson_trace, Arrival, GraphRegistry, Policy, Priority, ServeConfig, ServeReport, Service,
     WorkloadConfig,
 };
 use serde_json::{json, Value};
@@ -56,6 +56,7 @@ pub fn serve(suite: Suite) -> Artifact {
         requests,
         seed: 7,
         rate_per_s: 20_000.0,
+        arrival: Arrival::Poisson,
         interactive_fraction: 0.4,
         interactive_slo_ns: Some(2_000_000), // 2 ms
         batch_slo_ns: None,

@@ -26,6 +26,7 @@ pub fn dispatch(argv: Vec<String>) -> Result<Output, ArgError> {
         Some("run") => run(&args),
         Some("serve") => serve(&args),
         Some("chaos") => chaos(&args),
+        Some("overload") => overload(&args),
         Some("lint") => lint(&args),
         Some("datasets") => datasets(&args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n{}", usage()))),
@@ -48,11 +49,12 @@ pub fn usage() -> String {
      \x20            [--no-ump] [--no-um] [--out-of-core] [--pull] [--devices N]\n\
      \x20            [--device-mb MB] [--host-threads N] [--trace FILE] [--profile FILE] [--sanitize] [--faults PLAN.json] [--json]\n\
      etagraph serve --graph SPEC[,SPEC...] [--requests N] [--seed S] [--devices D] [--rate QPS]\n\
-     \x20          [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
+     \x20          [--arrival poisson|burst] [--batch B | --no-batch] [--fifo] [--queue-cap Q] [--timeout-ms T]\n\
      \x20          [--interactive-frac F] [--slo-ms S] [--device-mb MB] [--host-threads N] [--profile FILE] [--sanitize]\n\
-     \x20          [--faults PLAN.json] [--ckpt-interval I] [--json]\n\
+     \x20          [--faults PLAN.json] [--ckpt-interval I] [--qos] [--json]\n\
      \x20          (SPEC: rmatN to generate, or a graph file path)\n\
      etagraph chaos [--full] [--out DIR] [--json]\n\
+     etagraph overload [--full] [--out DIR] [--json]\n\
      etagraph lint [--root DIR] [--json]\n\
      etagraph datasets [--json]"
         .to_string()
@@ -711,6 +713,11 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
         requests: args.get_parse("requests", 200)?,
         seed: args.get_parse("seed", 7)?,
         rate_per_s: args.get_parse("rate", 2_000.0f64)?,
+        arrival: match args.get("arrival") {
+            None => eta_serve::Arrival::Poisson,
+            Some(s) => eta_serve::Arrival::parse(s)
+                .ok_or_else(|| ArgError(format!("--arrival takes poisson or burst, got {s:?}")))?,
+        },
         interactive_fraction: args.get_parse("interactive-frac", 0.5f64)?,
         interactive_slo_ns: args
             .get("slo-ms")
@@ -768,6 +775,11 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
         },
         faults: fault_plan_from(args)?.unwrap_or_default(),
         checkpoint_interval: args.get_parse("ckpt-interval", 0)?,
+        qos: if args.switch("qos") {
+            eta_serve::QosConfig::standard()
+        } else {
+            eta_serve::QosConfig::default()
+        },
         ..eta_serve::ServeConfig::default()
     };
     if cfg.devices == 0 {
@@ -824,6 +836,22 @@ fn serve(args: &Args) -> Result<Output, ArgError> {
     }
     if let Some(slo) = report.slo_attainment() {
         let _ = writeln!(text, "SLO attainment: {:.1}%", slo * 100.0);
+    }
+    // Overload-control summary, only when a qos feature is actually on
+    // (keeps qos-off output byte-identical to older builds).
+    if let Some(q) = &report.qos {
+        let _ = writeln!(
+            text,
+            "qos: goodput {:.0} qps, {} admission / {} shed / {} throttle rejection(s), \
+             {} retry(ies) granted, {} denied, {} brownout batch(es)",
+            report.goodput_qps(),
+            q.admission_rejections,
+            q.shed_rejections,
+            q.throttle_rejections,
+            q.retries_granted,
+            q.retries_denied,
+            q.brownout_batches
+        );
     }
     // Fault-tolerance summary, only when the run actually saw faults (the
     // empty default plan keeps this output byte-identical to older builds).
@@ -946,6 +974,56 @@ fn chaos(args: &Args) -> Result<Output, ArgError> {
         )));
     }
     let _ = writeln!(text, "\nchaos drill passed: 0 lost, 0 wrong");
+    Ok(Output { json: a.json, text })
+}
+
+/// Runs the deterministic overload drill from `eta-bench`: arrival-rate
+/// multipliers over calibrated capacity crossed with fault plans, every
+/// trace served qos-off and qos-on, every id accounted for exactly once.
+/// `--full` runs the large sweep; `--out DIR` also writes the
+/// `overload.txt` / `overload.json` artifact pair.
+fn overload(args: &Args) -> Result<Output, ArgError> {
+    let suite = if args.switch("full") {
+        eta_bench::Suite::Full
+    } else {
+        eta_bench::Suite::Quick
+    };
+    let out_dir = args.get("out").map(String::from);
+    args.ensure_consumed()?;
+
+    let a = eta_bench::overload::overload(suite);
+    let lost = a.json["verification"]["lost"].as_u64().unwrap_or(u64::MAX);
+    let wrong = a.json["verification"]["wrong"].as_u64().unwrap_or(u64::MAX);
+    let wins = a.json["saturated_qos_wins"].as_u64().unwrap_or(0);
+    let cells = a.json["saturated_cells"].as_u64().unwrap_or(u64::MAX);
+    let mut text = format!("{}\n\n{}", a.title, a.text);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("creating {dir}: {e}")))?;
+        let txt = format!("{dir}/overload.txt");
+        std::fs::write(&txt, format!("{}\n\n{}", a.title, a.text))
+            .map_err(|e| ArgError(format!("writing {txt}: {e}")))?;
+        let jsn = format!("{dir}/overload.json");
+        std::fs::write(
+            &jsn,
+            serde_json::to_string_pretty(&a.json).unwrap_or_default(),
+        )
+        .map_err(|e| ArgError(format!("writing {jsn}: {e}")))?;
+        let _ = writeln!(text, "\nwrote {txt} and {jsn}");
+    }
+    if lost > 0 || wrong > 0 {
+        return Err(ArgError(format!(
+            "overload drill FAILED: {lost} lost, {wrong} wrong — per-cell detail in the json artifact"
+        )));
+    }
+    if wins < cells {
+        return Err(ArgError(format!(
+            "overload drill FAILED: qos beat the baseline in only {wins}/{cells} saturated cells"
+        )));
+    }
+    let _ = writeln!(
+        text,
+        "\noverload drill passed: 0 lost, 0 wrong; qos won all {cells} saturated cells"
+    );
     Ok(Output { json: a.json, text })
 }
 

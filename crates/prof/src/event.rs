@@ -29,6 +29,10 @@ pub enum Track {
     /// engine's halo frontier/label exchanges (see eta-shard and eta-mem's
     /// `PeerFabric`).
     Peer,
+    /// Overload-control events: infeasible-deadline admissions, sheds,
+    /// tenant throttles, retry-budget denials, and brownout transitions
+    /// (see eta-serve's `qos` module).
+    Qos,
 }
 
 impl Track {
@@ -43,6 +47,7 @@ impl Track {
             Track::Fault => 6,
             Track::Ckpt => 7,
             Track::Peer => 8,
+            Track::Qos => 9,
         }
     }
 
@@ -57,11 +62,12 @@ impl Track {
             Track::Fault => "faults",
             Track::Ckpt => "checkpoints",
             Track::Peer => "peer links",
+            Track::Qos => "qos",
         }
     }
 
     /// All tracks, in tid order.
-    pub fn all() -> [Track; 8] {
+    pub fn all() -> [Track; 9] {
         [
             Track::Kernel,
             Track::Transfer,
@@ -71,6 +77,7 @@ impl Track {
             Track::Fault,
             Track::Ckpt,
             Track::Peer,
+            Track::Qos,
         ]
     }
 }

@@ -26,6 +26,7 @@
 //! faults stay permanent and recovery must come from regrouping, not from
 //! waiting out the window on the same member.
 
+use crate::qos::{QosConfig, QosState};
 use crate::registry::GraphRegistry;
 use crate::report::{
     BatchRecord, DeviceStats, FaultEvent, GroupStats, QuarantineRecord, RequestRecord, ServeReport,
@@ -65,6 +66,10 @@ pub struct GroupConfig {
     /// Snapshot interval in supersteps (0 = checkpointing off; a faulted
     /// query then retries from scratch on the regrouped set).
     pub checkpoint_interval: u32,
+    /// Overload control. Only the retry budget applies to group serving
+    /// (regroup-resume retries draw from the same budget as pool
+    /// retries); the default disables it and is byte-inert.
+    pub qos: QosConfig,
 }
 
 impl Default for GroupConfig {
@@ -80,6 +85,7 @@ impl Default for GroupConfig {
             backoff_base_ns: 50_000,
             quarantine_ns: 2_000_000,
             checkpoint_interval: 0,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -130,6 +136,7 @@ struct GroupRunState {
     resumes: u32,
     migrations: u32,
     work_saved_iterations: u64,
+    qos: QosState,
 }
 
 /// The group-serving service. BFS-only, like the pool scheduler: the
@@ -205,6 +212,7 @@ impl<'r> GroupService<'r> {
             resumes: 0,
             migrations: 0,
             work_saved_iterations: 0,
+            qos: QosState::new(&self.cfg.qos),
         };
         let mut next = 0usize;
         let mut now: Ns = 0;
@@ -432,6 +440,21 @@ impl<'r> GroupService<'r> {
                         self.cpu_fallback(&q, now, fail_at, faulted as u32, st);
                         return;
                     }
+                    // A regroup-resume is a retry: it draws from the same
+                    // qos budget as the pool ladder, so correlated group
+                    // faults cannot amplify load without bound.
+                    if !st.qos.retry_try_take(&self.cfg.qos, fail_at) {
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Qos,
+                                "retry_denied",
+                                fail_at,
+                                vec![("id", q.req.id.into())],
+                            );
+                        }
+                        self.cpu_fallback(&q, now, fail_at, faulted as u32, st);
+                        return;
+                    }
                     // Park the newest snapshot: one taken during this
                     // attempt, else the one this attempt resumed from — the
                     // iterations it saved are still saved.
@@ -613,6 +636,7 @@ impl<'r> GroupService<'r> {
             resumes,
             migrations,
             work_saved_iterations,
+            qos,
             ..
         } = st;
         records.sort_by_key(|r| r.id);
@@ -686,6 +710,11 @@ impl<'r> GroupService<'r> {
             migrations,
             work_saved_iterations,
             groups,
+            qos: if self.cfg.qos.any_enabled() {
+                Some(qos.stats)
+            } else {
+                None
+            },
         }
     }
 }

@@ -39,6 +39,16 @@
 //! interval 0 (the default) disables the machinery and is byte-identical
 //! to the pre-checkpoint service.
 //!
+//! With a non-default [`qos::QosConfig`] in [`ServeConfig::qos`], the
+//! service gains overload control ([`qos`]): cost-model admission by
+//! deadline feasibility (calibrated online from completed batches),
+//! deterministic worst-first shedding at queue capacity, per-tenant
+//! fair-share token buckets, a global retry budget over the recovery
+//! ladder (denied retries degrade straight to the CPU fallback instead of
+//! amplifying load), and brownout degradation of best-effort traffic
+//! (demote + zero-copy) when the queue-delay EWMA crosses a threshold.
+//! The default config disables every feature and is byte-inert.
+//!
 //! With [`group::GroupService`], one query runs across a device *group*
 //! via `etagraph::sharded`: the registry admits **partitioned residency**
 //! (cached [`eta_shard::GraphPartition`]s, halo-aware footprint sizing),
@@ -73,6 +83,7 @@
 
 pub mod group;
 pub mod pool;
+pub mod qos;
 pub mod registry;
 pub mod report;
 pub mod request;
@@ -81,10 +92,11 @@ pub mod workload;
 
 pub use group::{GroupConfig, GroupService};
 pub use pool::DeviceWorker;
+pub use qos::{QosConfig, QosStats};
 pub use registry::GraphRegistry;
 pub use report::{
     BatchRecord, DeviceStats, FaultEvent, GroupStats, QuarantineRecord, RequestRecord, ServeReport,
 };
 pub use request::{Priority, RejectReason, Rejection, Request};
 pub use sched::{Policy, ServeConfig, Service};
-pub use workload::{poisson_trace, WorkloadConfig};
+pub use workload::{poisson_trace, Arrival, WorkloadConfig};

@@ -24,6 +24,11 @@ use std::collections::BTreeMap;
 struct ResidentGraph {
     dg: DeviceGraph,
     multi: MultiBfsResources,
+    /// Transfer mode the topology was uploaded under. A dispatch asking
+    /// for a different mode (qos brownout re-routes best-effort batches to
+    /// zero-copy) drops this residency and re-uploads under the new mode —
+    /// the resident layout is mode-specific, so the two cannot be mixed.
+    transfer: TransferMode,
     /// Content digest of the uploaded topology (checkpoint epoch guard:
     /// a snapshot taken against this graph only resumes where the digest
     /// matches, so migration can never land on the wrong graph version).
@@ -133,8 +138,19 @@ impl DeviceWorker {
         self.lru_tick += 1;
         let tick = self.lru_tick;
         if let Some(rg) = self.resident.get_mut(name) {
-            rg.last_used = tick;
-            return Ok(now);
+            if rg.transfer == cfg.transfer {
+                rg.last_used = tick;
+                return Ok(now);
+            }
+            // Mode mismatch: the resident layout was built for another
+            // transfer mode, so drop it and fall through to a fresh upload.
+            // (Unpinned by construction — dispatch pins only for the launch
+            // it is about to run, and it asks for residency first.)
+            // lint: allow(L-PANIC): guarded by the contains_key + mode-mismatch check just above
+            let rg = self.resident.remove(name).expect("checked above");
+            rg.dg.release(&mut self.dev);
+            rg.multi.release(&mut self.dev);
+            self.evictions += 1;
         }
         // Evict least-recently-used unpinned graphs until the newcomer's
         // explicit footprint fits. Eviction itself is free in simulated
@@ -151,6 +167,7 @@ impl DeviceWorker {
             ResidentGraph {
                 dg,
                 multi,
+                transfer: cfg.transfer,
                 digest: csr.digest(),
                 last_used: tick,
                 pins: 0,
@@ -343,6 +360,32 @@ mod tests {
             w1.resident_digest("g"),
             "same topology hashes identically on both workers"
         );
+    }
+
+    #[test]
+    fn transfer_mode_switch_reuploads_the_graph() {
+        // The qos brownout path re-routes best-effort batches to zero-copy:
+        // a residency built under one mode must be dropped and rebuilt, not
+        // silently reused with the wrong layout.
+        let mut w = DeviceWorker::new(0, GpuConfig::default_preset());
+        let g = small(1);
+        let paper = EtaConfig::paper();
+        let zc = EtaConfig::zero_copy();
+        w.ensure_resident("g", &g, &paper, 0).unwrap();
+        assert_eq!((w.uploads, w.evictions), (1, 0));
+        // Same mode: warm, no churn.
+        w.ensure_resident("g", &g, &paper, 10).unwrap();
+        assert_eq!((w.uploads, w.evictions), (1, 0));
+        // Brownout re-route: drop + re-upload under zero-copy.
+        w.ensure_resident("g", &g, &zc, 20).unwrap();
+        assert_eq!((w.uploads, w.evictions), (2, 1));
+        let r = w.run_batch("g", &[0], &zc, 20).unwrap();
+        assert_eq!(r.levels[0], reference::bfs(&g, 0));
+        // Restore: pressure cleared, the normal mode re-uploads once more.
+        w.ensure_resident("g", &g, &paper, 30).unwrap();
+        assert_eq!((w.uploads, w.evictions), (3, 2));
+        let r = w.run_batch("g", &[3], &paper, 30).unwrap();
+        assert_eq!(r.levels[0], reference::bfs(&g, 3));
     }
 
     #[test]

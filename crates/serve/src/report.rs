@@ -6,6 +6,7 @@
 //! documented nearest-rank implementation serves both the paper tables and
 //! the serving artifacts — this crate stays a pure producer.
 
+use crate::qos::QosStats;
 use crate::request::{Priority, Rejection};
 use eta_mem::Ns;
 use serde::Serialize;
@@ -155,6 +156,9 @@ pub struct ServeReport {
     /// services, so pre-group reports stay byte-identical.
     #[serde(skip_serializing_if = "Vec::is_empty")]
     pub groups: Vec<GroupStats>,
+    /// Overload-control accounting; `None` whenever every
+    /// [`QosConfig`](crate::qos::QosConfig) feature is off.
+    pub qos: Option<QosStats>,
 }
 
 impl ServeReport {
@@ -175,6 +179,22 @@ impl ServeReport {
         }
         let total: u64 = self.batches.iter().map(|b| b.size as u64).sum();
         total as f64 / self.batches.len() as f64
+    }
+
+    /// Goodput: completions that met their deadline, per simulated second
+    /// of makespan. Best-effort completions (no deadline) do not count —
+    /// goodput measures *useful* SLO-bound work, which is what collapses
+    /// under overload while raw throughput stays flat.
+    pub fn goodput_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        let met = self
+            .records
+            .iter()
+            .filter(|r| r.deadline_met == Some(true))
+            .count();
+        met as f64 / (self.makespan_ns as f64 / 1e9)
     }
 
     /// Completed requests that had a deadline and met it, over all that had
@@ -255,8 +275,10 @@ mod tests {
             migrations: 0,
             work_saved_iterations: 0,
             groups: vec![],
+            qos: None,
         };
         assert_eq!(report.latencies_ns(None), vec![10, 20, 30]);
+        assert_eq!(report.goodput_qps(), 1e7, "1 met deadline over 100 ns");
         assert_eq!(
             report.latencies_ns(Some(Priority::Interactive)),
             vec![10, 30]

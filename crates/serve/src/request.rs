@@ -40,7 +40,8 @@ pub struct Request {
     /// Absolute arrival time on the service clock.
     pub arrival_ns: Ns,
     /// Absolute completion deadline (the request's SLO); `None` = best
-    /// effort. Deadlines order dispatch but never cause a drop.
+    /// effort. Deadlines order dispatch; with qos admission control on they
+    /// also gate admission ([`RejectReason::DeadlineInfeasible`]).
     pub deadline_ns: Option<Ns>,
     /// Maximum queue wait; a request whose wait has *reached* this at
     /// dispatch time is dropped with [`RejectReason::TimedOut`]. The bound
@@ -64,6 +65,17 @@ pub enum RejectReason {
     TimedOut,
     /// The graph's device footprint cannot fit the device, even alone.
     AdmissionDenied,
+    /// Qos admission control: the predicted completion time (queue backlog
+    /// plus this request's own cost estimate) cannot meet the deadline, so
+    /// serving it would spend device time on a guaranteed SLO miss.
+    DeadlineInfeasible,
+    /// Qos shedding: dropped at queue capacity as the worst entry by
+    /// (lowest priority, latest deadline, highest id) — possibly displaced
+    /// from the queue by a more urgent newcomer.
+    ShedOverload,
+    /// Qos fair share: the tenant is over its share while the service is
+    /// congested.
+    TenantThrottled,
 }
 
 impl RejectReason {
@@ -74,6 +86,9 @@ impl RejectReason {
             RejectReason::SourceOutOfRange => "source_out_of_range",
             RejectReason::TimedOut => "timed_out",
             RejectReason::AdmissionDenied => "admission_denied",
+            RejectReason::DeadlineInfeasible => "deadline_infeasible",
+            RejectReason::ShedOverload => "shed_overload",
+            RejectReason::TenantThrottled => "tenant_throttled",
         }
     }
 }
@@ -104,6 +119,9 @@ mod tests {
             (RejectReason::SourceOutOfRange, "source_out_of_range"),
             (RejectReason::TimedOut, "timed_out"),
             (RejectReason::AdmissionDenied, "admission_denied"),
+            (RejectReason::DeadlineInfeasible, "deadline_infeasible"),
+            (RejectReason::ShedOverload, "shed_overload"),
+            (RejectReason::TenantThrottled, "tenant_throttled"),
         ] {
             assert_eq!(reason.name(), name);
         }

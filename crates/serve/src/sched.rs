@@ -11,6 +11,7 @@
 //! device id, so a trace replays to byte-identical reports.
 
 use crate::pool::DeviceWorker;
+use crate::qos::{BrownoutTransition, QosConfig, QosState};
 use crate::registry::GraphRegistry;
 use crate::report::{
     BatchRecord, DeviceStats, FaultEvent, QuarantineRecord, RequestRecord, ServeReport,
@@ -23,7 +24,7 @@ use eta_mem::Ns;
 use eta_prof::{Profile, Profiler, Track};
 use eta_sim::GpuConfig;
 use etagraph::multi_bfs::MAX_BATCH;
-use etagraph::{EtaConfig, QueryError};
+use etagraph::{EtaConfig, QueryError, TransferMode};
 use serde::Serialize;
 
 /// Dispatch-order policy.
@@ -82,6 +83,12 @@ pub struct ServeConfig {
     /// on the same device (a re-probe) when it is dispatchable again, or
     /// migrated to the lowest-numbered healthy device otherwise.
     pub checkpoint_interval: u32,
+    /// Overload control ([`crate::qos`]): admission by deadline
+    /// feasibility, worst-first shedding, tenant fair share, a retry
+    /// budget over the recovery ladder, and brownout degradation. The
+    /// default disables every feature — the service then behaves, and its
+    /// report serializes, exactly as if the qos layer did not exist.
+    pub qos: QosConfig,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +106,7 @@ impl Default for ServeConfig {
             quarantine_after: 3,
             quarantine_ns: 2_000_000,
             checkpoint_interval: 0,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -113,6 +121,10 @@ struct Queued {
     retries: u32,
     /// Backoff gate: not dispatchable before this time.
     not_before: Ns,
+    /// Qos cost-model estimate at admission (device-ns this request is
+    /// expected to consume); feeds the backlog term of later admission
+    /// decisions. Unused when qos is off.
+    est_ns: Ns,
 }
 
 /// A faulted batch with a parked snapshot: rung 0 of the recovery ladder.
@@ -149,10 +161,11 @@ struct RunState {
     resumes: u32,
     migrations: u32,
     work_saved_iterations: u64,
+    qos: QosState,
 }
 
 impl RunState {
-    fn new() -> Self {
+    fn new(qos: &QosConfig) -> Self {
         RunState {
             queue: Vec::new(),
             resumables: Vec::new(),
@@ -166,6 +179,7 @@ impl RunState {
             resumes: 0,
             migrations: 0,
             work_saved_iterations: 0,
+            qos: QosState::new(qos),
         }
     }
 }
@@ -228,7 +242,7 @@ impl<'r> Service<'r> {
             trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
             "trace must be sorted by arrival time"
         );
-        let mut st = RunState::new();
+        let mut st = RunState::new(&self.cfg.qos);
         let mut next = 0usize;
         let mut now: Ns = 0;
         loop {
@@ -287,47 +301,152 @@ impl<'r> Service<'r> {
         self.finish(st)
     }
 
+    /// One typed refusal: the prof instant plus the [`Rejection`] record.
+    fn reject(&mut self, id: u32, reason: RejectReason, now: Ns, st: &mut RunState) {
+        if self.prof.is_enabled() {
+            self.prof.instant(
+                Track::Sched,
+                "reject",
+                now,
+                vec![("id", id.into()), ("reason", reason.name().into())],
+            );
+        }
+        st.rejections.push(Rejection {
+            id,
+            reason,
+            at_ns: now,
+        });
+    }
+
     /// Admission control at arrival time. Every refusal is a typed
-    /// [`Rejection`]; admitted requests enter the bounded queue.
+    /// [`Rejection`]; admitted requests enter the bounded queue. With qos
+    /// features on, arrival is also where overload policy bites: deadline
+    /// feasibility, tenant fair share, and worst-first shedding at
+    /// capacity — arbitrate before you spend.
     fn admit(&mut self, req: &Request, now: Ns, st: &mut RunState) {
-        let prof = &mut self.prof;
-        let rejections = &mut st.rejections;
-        let mut reject = |reason: RejectReason| {
-            if prof.is_enabled() {
-                prof.instant(
-                    Track::Sched,
-                    "reject",
-                    now,
-                    vec![("id", req.id.into()), ("reason", reason.name().into())],
-                );
-            }
-            rejections.push(Rejection {
-                id: req.id,
-                reason,
-                at_ns: now,
-            })
-        };
         let Some(csr) = self.registry.get(&req.graph) else {
-            return reject(RejectReason::UnknownGraph);
+            return self.reject(req.id, RejectReason::UnknownGraph, now, st);
         };
         if req.source as usize >= csr.n() {
-            return reject(RejectReason::SourceOutOfRange);
+            return self.reject(req.id, RejectReason::SourceOutOfRange, now, st);
         }
         // A graph whose footprint exceeds the device even when it is the
         // sole tenant can never be served; refuse it upfront rather than
         // letting it evict everyone else and still fail.
         let capacity = self.workers[0].dev.mem.capacity_bytes();
         if DeviceWorker::footprint_bytes(csr, &self.cfg.eta) > capacity {
-            return reject(RejectReason::AdmissionDenied);
+            return self.reject(req.id, RejectReason::AdmissionDenied, now, st);
+        }
+        let est_ns = st.qos.cost.estimate(&req.graph, csr, &self.cfg.eta);
+        // Deadline feasibility: predicted completion = the earliest any
+        // device frees up, plus the queued backlog spread across the pool,
+        // plus this request's own estimate. A request that cannot make its
+        // deadline even under that optimistic schedule is refused now,
+        // before it wastes queue space and device time on a guaranteed
+        // SLO miss.
+        if self.cfg.qos.admission {
+            if let Some(deadline) = req.deadline_ns {
+                let backlog: Ns = st.queue.iter().map(|q| q.est_ns).sum();
+                let earliest_free = self
+                    .workers
+                    .iter()
+                    .map(|w| w.free_at.max(w.quarantined_until))
+                    .min()
+                    .unwrap_or(now)
+                    .max(now);
+                let predicted = earliest_free + backlog / self.cfg.devices as Ns + est_ns;
+                if predicted > deadline {
+                    st.qos.stats.admission_rejections += 1;
+                    if self.prof.is_enabled() {
+                        self.prof.instant(
+                            Track::Qos,
+                            "admission_infeasible",
+                            now,
+                            vec![
+                                ("id", req.id.into()),
+                                ("predicted_ns", predicted.into()),
+                                ("deadline_ns", deadline.into()),
+                            ],
+                        );
+                    }
+                    return self.reject(req.id, RejectReason::DeadlineInfeasible, now, st);
+                }
+            }
+        }
+        // Tenant fair share, enforced only under congestion so the policy
+        // stays work-conserving: an idle pool serves anyone, a backlogged
+        // pool charges each tenant's bucket for its estimated device time.
+        if self.cfg.qos.fair_share
+            && st.queue.len() >= self.cfg.qos.fair_share_min_queue
+            && !st
+                .qos
+                .tenant_try_charge(&self.cfg.qos, &req.graph, now, est_ns)
+        {
+            st.qos.stats.throttle_rejections += 1;
+            if self.prof.is_enabled() {
+                self.prof.instant(
+                    Track::Qos,
+                    "tenant_throttled",
+                    now,
+                    vec![("id", req.id.into()), ("tenant", req.graph.as_str().into())],
+                );
+            }
+            return self.reject(req.id, RejectReason::TenantThrottled, now, st);
         }
         if st.queue.len() >= self.cfg.queue_capacity {
-            return reject(RejectReason::QueueFull);
+            if !self.cfg.qos.shed {
+                return self.reject(req.id, RejectReason::QueueFull, now, st);
+            }
+            // Deterministic worst-first shedding: among the queue and the
+            // newcomer, drop the entry with (lowest priority, latest
+            // deadline, highest id) — ids are unique, so there are no ties.
+            let key = |q: &Queued| {
+                (
+                    q.req.class.rank(),
+                    q.req.deadline_ns.unwrap_or(Ns::MAX),
+                    q.req.id,
+                )
+            };
+            let newcomer_key = (req.class.rank(), req.deadline_ns.unwrap_or(Ns::MAX), req.id);
+            let worst = st
+                .queue
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, q)| key(q))
+                .map(|(i, q)| (i, key(q)))
+                // lint: allow(L-PANIC): this branch only runs when queue.len() >= capacity >= 1
+                .expect("queue is at capacity, so non-empty");
+            st.qos.stats.shed_rejections += 1;
+            if worst.1 > newcomer_key {
+                // The newcomer displaces a worse queued entry.
+                let victim = st.queue.remove(worst.0);
+                if self.prof.is_enabled() {
+                    self.prof.instant(
+                        Track::Qos,
+                        "shed",
+                        now,
+                        vec![
+                            ("id", victim.req.id.into()),
+                            ("displaced_by", req.id.into()),
+                        ],
+                    );
+                }
+                self.reject(victim.req.id, RejectReason::ShedOverload, now, st);
+            } else {
+                if self.prof.is_enabled() {
+                    self.prof
+                        .instant(Track::Qos, "shed", now, vec![("id", req.id.into())]);
+                }
+                return self.reject(req.id, RejectReason::ShedOverload, now, st);
+            }
         }
         st.queue.push(Queued {
             req: req.clone(),
             retries: 0,
             not_before: now,
+            est_ns,
         });
+        st.qos.note_depth(st.queue.len());
         if self.prof.is_enabled() {
             self.prof.instant(
                 Track::Sched,
@@ -381,11 +500,24 @@ impl<'r> Service<'r> {
             }
             _ => true,
         });
+        // Brownout state is sampled once per dispatch decision; transitions
+        // observed below take effect at the *next* dispatch (hysteresis by
+        // construction — one decision is never half-degraded).
+        let brownout = self.cfg.qos.brownout && st.qos.brownout_active;
         match self.cfg.policy {
             Policy::Fifo => st.queue.sort_by_key(|q| (q.req.arrival_ns, q.req.id)),
+            // Under brownout, best-effort (deadline-less) requests are
+            // demoted below every SLO-bound class so deadline traffic
+            // drains first.
             Policy::PriorityDeadline => st.queue.sort_by_key(|q| {
+                let rank = q.req.class.rank()
+                    + if brownout && q.req.deadline_ns.is_none() {
+                        2
+                    } else {
+                        0
+                    };
                 (
-                    q.req.class.rank(),
+                    rank,
                     q.req.deadline_ns.unwrap_or(Ns::MAX),
                     q.req.arrival_ns,
                     q.req.id,
@@ -399,16 +531,50 @@ impl<'r> Service<'r> {
             return; // every dispatchable entry timed out above
         };
         let graph = head.req.graph.clone();
+        // Brownout degradation applies to a best-effort head: the batch
+        // runs in zero-copy mode (no bulk upload contending with SLO
+        // traffic), trading its own kernel time for bus headroom. A
+        // degraded batch only coalesces other best-effort riders so an
+        // SLO-bound request never rides a degraded launch.
+        let degrade = brownout && head.req.deadline_ns.is_none();
+        let head_wait = now - head.req.arrival_ns;
         let mut batch: Vec<Queued> = Vec::new();
         let max_batch = self.cfg.max_batch;
         st.queue.retain(|q| {
-            if batch.len() < max_batch && q.req.graph == graph && q.not_before <= now {
+            if batch.len() < max_batch
+                && q.req.graph == graph
+                && q.not_before <= now
+                && (!brownout || (q.req.deadline_ns.is_none() == degrade))
+            {
                 batch.push(q.clone());
                 false
             } else {
                 true
             }
         });
+        // Queue-delay EWMA drives the brownout state machine: the wait the
+        // dispatched head experienced is the freshest congestion signal.
+        if self.cfg.qos.brownout {
+            match st.qos.observe_wait(&self.cfg.qos, head_wait) {
+                Some(BrownoutTransition::Entered) if self.prof.is_enabled() => {
+                    self.prof.instant(
+                        Track::Qos,
+                        "brownout_enter",
+                        now,
+                        vec![("wait_ewma_ns", st.qos.wait_ewma().into())],
+                    );
+                }
+                Some(BrownoutTransition::Exited) if self.prof.is_enabled() => {
+                    self.prof.instant(
+                        Track::Qos,
+                        "brownout_exit",
+                        now,
+                        vec![("wait_ewma_ns", st.qos.wait_ewma().into())],
+                    );
+                }
+                _ => {}
+            }
+        }
         let widx = self
             .workers
             .iter()
@@ -416,7 +582,15 @@ impl<'r> Service<'r> {
             .expect("dispatch requires an idle worker");
         let worker = &mut self.workers[widx];
         let csr = self.registry.get(&graph).expect("validated at admission");
-        let cfg = &self.cfg.eta;
+        let run_cfg = if degrade {
+            EtaConfig {
+                transfer: TransferMode::ZeroCopy,
+                ..self.cfg.eta
+            }
+        } else {
+            self.cfg.eta
+        };
+        let cfg = &run_cfg;
         let ready = match worker.ensure_resident(&graph, csr, cfg, now) {
             Ok(t) => t,
             Err(_) => {
@@ -467,6 +641,20 @@ impl<'r> Service<'r> {
                 for (slot, q) in batch.into_iter().enumerate() {
                     if q.retries >= self.cfg.max_retries {
                         self.cpu_fallback(&q, csr, now, fail_at, device, st);
+                    } else if !st.qos.retry_try_take(&self.cfg.qos, fail_at) {
+                        // Retry budget exhausted: under correlated faults,
+                        // unbudgeted retries amplify load exactly when the
+                        // pool is weakest. Skip the remaining rungs and
+                        // degrade straight to the CPU fallback.
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Qos,
+                                "retry_denied",
+                                fail_at,
+                                vec![("id", q.req.id.into())],
+                            );
+                        }
+                        self.cpu_fallback(&q, csr, now, fail_at, device, st);
                     } else if parked.is_some() {
                         min_retries = min_retries.min(q.retries);
                         riders.push((
@@ -475,6 +663,7 @@ impl<'r> Service<'r> {
                                 retries: q.retries + 1,
                                 not_before: 0, // set below, once the gate is known
                                 req: q.req,
+                                est_ns: q.est_ns,
                             },
                         ));
                     } else {
@@ -496,6 +685,7 @@ impl<'r> Service<'r> {
                             retries: q.retries + 1,
                             not_before,
                             req: q.req,
+                            est_ns: q.est_ns,
                         });
                     }
                 }
@@ -540,6 +730,21 @@ impl<'r> Service<'r> {
         let completion = ready + result.total_ns;
         worker.busy_ns += completion - now;
         worker.free_at = completion;
+        // Calibrate the cost model with the measured per-request device
+        // time. Degraded (zero-copy) launches are excluded: their costs
+        // would bias estimates for the normal path.
+        if !degrade {
+            st.qos.cost.observe(
+                &graph,
+                csr,
+                &self.cfg.eta,
+                result.total_ns / batch.len() as Ns,
+            );
+        } else {
+            st.qos.stats.brownout_batches += 1;
+            // lint: allow(L-CAST-TRUNC): batch size is bounded by cfg.max_batch (<= 32)
+            st.qos.stats.brownout_downgrades += batch.len() as u32;
+        }
         st.batches.push(BatchRecord {
             device: widx as u32,
             graph: graph.clone(),
@@ -717,6 +922,18 @@ impl<'r> Service<'r> {
                 for (slot, q) in rb.riders {
                     if q.retries >= self.cfg.max_retries {
                         self.cpu_fallback(&q, csr, now, fail_at, device, st);
+                    } else if !st.qos.retry_try_take(&self.cfg.qos, fail_at) {
+                        // Same budget as the fresh-dispatch ladder: a resume
+                        // retry is still a retry.
+                        if self.prof.is_enabled() {
+                            self.prof.instant(
+                                Track::Qos,
+                                "retry_denied",
+                                fail_at,
+                                vec![("id", q.req.id.into())],
+                            );
+                        }
+                        self.cpu_fallback(&q, csr, now, fail_at, device, st);
                     } else {
                         min_retries = min_retries.min(q.retries);
                         riders.push((
@@ -725,6 +942,7 @@ impl<'r> Service<'r> {
                                 retries: q.retries + 1,
                                 not_before: 0, // set below
                                 req: q.req,
+                                est_ns: q.est_ns,
                             },
                         ));
                     }
@@ -886,6 +1104,7 @@ impl<'r> Service<'r> {
             resumes,
             migrations,
             work_saved_iterations,
+            qos,
             ..
         } = st;
         records.sort_by_key(|r| r.id);
@@ -944,6 +1163,11 @@ impl<'r> Service<'r> {
             migrations,
             work_saved_iterations,
             groups: Vec::new(),
+            qos: if self.cfg.qos.any_enabled() {
+                Some(qos.stats)
+            } else {
+                None
+            },
         }
     }
 }
